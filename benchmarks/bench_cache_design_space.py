@@ -1,0 +1,70 @@
+"""Design-space exploration: cache geometry (Section III-C style).
+
+Another study of the kind the framework is built for: sweep the data
+cache's size and associativity in the CL tile and measure the miss
+rate and end-to-end cycle count of the scalar matrix-vector kernel.
+
+Expected shape: more lines -> fewer misses; at equal capacity, 2-way
+associativity removes conflict misses the direct-mapped cache suffers
+when matrix rows and the vector collide in the same sets.
+"""
+
+import pytest
+
+from common import format_table, write_result
+from repro.accel import mvmult_data, mvmult_scalar, run_tile
+from repro.accel.tile import Tile
+from repro.core import SimulationTool
+from repro.proc import assemble
+
+ROWS, COLS = 4, 16
+
+
+def _run(nlines, assoc):
+    words = assemble(mvmult_scalar(ROWS, COLS))
+    data, expected = mvmult_data(ROWS, COLS)
+    tile = Tile(("cl", "cl", "cl"), cache_nlines=nlines,
+                cache_assoc=assoc).elaborate()
+    tile.mem.load(0, words)
+    for addr, value in data.items():
+        tile.mem.write_word(addr, value)
+    sim = SimulationTool(tile)
+    sim.reset()
+    while not int(tile.proc.done):
+        sim.cycle()
+        assert sim.ncycles < 3_000_000
+    return sim.ncycles, tile.dcache.miss_rate()
+
+
+def test_cache_design_space(benchmark):
+    points = [(4, 1), (4, 2), (8, 1), (8, 2), (16, 1), (32, 1)]
+    measured = {}
+
+    def sweep():
+        for nlines, assoc in points:
+            measured[(nlines, assoc)] = _run(nlines, assoc)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for nlines, assoc in points:
+        ncycles, miss_rate = measured[(nlines, assoc)]
+        rows.append([
+            f"{nlines} lines / {assoc}-way",
+            f"{nlines * 16}B",
+            f"{miss_rate * 100:.1f}%",
+            ncycles,
+        ])
+    text = format_table(
+        f"Design space: D$ geometry, CL tile, scalar mvmult "
+        f"{ROWS}x{COLS}",
+        ["geometry", "capacity", "miss rate", "cycles"],
+        rows,
+    )
+    write_result("design_space_cache.txt", text)
+
+    # Shapes: bigger caches miss less; at fixed capacity,
+    # associativity never hurts this workload.
+    assert measured[(32, 1)][1] <= measured[(4, 1)][1]
+    assert measured[(4, 2)][1] <= measured[(4, 1)][1] + 0.02
+    assert measured[(32, 1)][0] <= measured[(4, 1)][0]

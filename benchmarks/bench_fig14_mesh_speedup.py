@@ -1,0 +1,165 @@
+"""Figure 14: SimJIT mesh-network performance.
+
+The paper simulates 64-node FL/CL/RTL meshes near saturation and plots
+speedup over CPython versus simulated cycles, for PyPy / SimJIT /
+SimJIT+PyPy / hand-written C++(verilated) configurations.
+
+Our reproduction (substitutions documented in DESIGN.md):
+
+- *CPython interpreted* — this framework's event-driven simulator;
+- *SimJIT* — the compiled-C model driven by the same Python harness;
+- *C reference* — the same model plus an all-C traffic driver with no
+  Python in the loop (the efficiency-language upper bound the paper's
+  hand-coded C++ / verilated simulators provide);
+- PyPy rows are not reproducible offline (no PyPy); the SimJIT rows
+  carry the JIT story alone.
+
+Expected shape: speedups grow with simulated cycles as one-time
+overheads amortize; RTL gains exceed CL gains; SimJIT lands within a
+small factor of the C reference.
+"""
+
+import time
+
+import pytest
+
+from common import (
+    NENTRIES,
+    build_c_reference,
+    build_jit_network,
+    build_network,
+    format_table,
+    write_result,
+)
+from repro.net import NetworkTrafficHarness
+
+NROUTERS = 64
+RATE = 0.30                     # near saturation (paper Section III-D)
+
+# Simulated-cycle ladder.  The paper sweeps 1e3..1e7; interpreted
+# CPython at 64 nodes runs ~100-500 cyc/s, so we cap the interpreted
+# ladder and reuse its throughput for the larger points (throughput is
+# flat once warm — verified by the two measured points).
+INTERP_CYCLES = {"fl": 2000, "cl": 1000, "rtl": 300}
+JIT_CYCLES = 10_000
+CREF_CYCLES = 200_000
+
+
+def _interp_rate(level):
+    net = build_network(level, NROUTERS)
+    harness = NetworkTrafficHarness(net, seed=1)
+    ncycles = INTERP_CYCLES[level]
+    start = time.perf_counter()
+    harness.run_uniform_random(RATE, ncycles, drain=0)
+    return ncycles / (time.perf_counter() - start)
+
+
+def _jit_rate(level):
+    wrapper, spec = build_jit_network(level, NROUTERS)
+    harness = NetworkTrafficHarness(wrapper, seed=1)
+    start = time.perf_counter()
+    harness.run_uniform_random(RATE, JIT_CYCLES, drain=0)
+    elapsed = time.perf_counter() - start
+    overhead = sum(
+        v for k, v in spec.overheads.items()
+        if isinstance(v, float)
+    )
+    return JIT_CYCLES / elapsed, overhead
+
+
+def _cref_rate(level):
+    run, spec = build_c_reference(level, NROUTERS)
+    start = time.perf_counter()
+    run(CREF_CYCLES, RATE)
+    elapsed = time.perf_counter() - start
+    overhead = sum(
+        v for k, v in spec.overheads.items() if isinstance(v, float)
+    )
+    return CREF_CYCLES / elapsed, overhead
+
+
+@pytest.mark.parametrize("level", ["fl", "cl", "rtl"])
+def test_fig14_mesh_speedup(benchmark, level):
+    interp = _interp_rate(level)
+
+    if level == "fl":
+        # No specializer exists for FL models (paper: PyPy-only row).
+        rows = [[level, f"{interp:.0f}", "-", "-", "-", "-"]]
+        text = format_table(
+            f"Figure 14({level}): 64-node mesh simulator throughput",
+            ["level", "interp cyc/s", "simjit cyc/s", "simjit speedup",
+             "c-ref cyc/s", "c-ref speedup"],
+            rows,
+        )
+        write_result(f"fig14_{level}.txt", text)
+        benchmark.pedantic(
+            lambda: NetworkTrafficHarness(
+                build_network("fl", NROUTERS), seed=1
+            ).run_uniform_random(RATE, 200, drain=0),
+            rounds=1, iterations=1,
+        )
+        return
+
+    jit, jit_overhead = _jit_rate(level)
+    cref, cref_overhead = _cref_rate(level)
+
+    rows = [[
+        level,
+        f"{interp:.0f}",
+        f"{jit:.0f}",
+        f"{jit / interp:.1f}x",
+        f"{cref:.0f}",
+        f"{cref / interp:.1f}x",
+    ]]
+    # Speedup-vs-cycles series (solid line: overheads amortized via
+    # cache; dotted: include one-time specialization overheads).
+    series = []
+    for target in (1_000, 10_000, 100_000, 1_000_000, 10_000_000):
+        interp_time = target / interp
+        jit_time = target / jit
+        series.append([
+            f"{target:,}",
+            f"{interp_time / jit_time:.1f}x",
+            f"{interp_time / (jit_time + jit_overhead):.1f}x",
+            f"{interp_time / (target / cref):.1f}x",
+        ])
+    text = "\n\n".join([
+        format_table(
+            f"Figure 14({level}): 64-node mesh simulator throughput "
+            f"(rate={RATE})",
+            ["level", "interp cyc/s", "simjit cyc/s", "simjit speedup",
+             "c-ref cyc/s", "c-ref speedup"],
+            rows,
+        ),
+        format_table(
+            f"Figure 14({level}): speedup vs simulated cycles "
+            f"(jit overhead {jit_overhead:.1f}s)",
+            ["target cycles", "simjit (cached)", "simjit (+overheads)",
+             "c reference"],
+            series,
+        ),
+    ])
+    write_result(f"fig14_{level}.txt", text)
+
+    wrapper, _ = build_jit_network(level, NROUTERS)
+    harness = NetworkTrafficHarness(wrapper, seed=2)
+    benchmark.pedantic(
+        lambda: harness.run_uniform_random(RATE, 1000, drain=0),
+        rounds=1, iterations=1,
+    )
+
+
+def test_fig14_shape_rtl_gains_exceed_cl(benchmark):
+    """Paper claim: SimJIT speedups are larger for RTL than CL (more
+    detail -> more work moved into compiled code)."""
+    results = {}
+
+    def measure():
+        results["interp_cl"] = _interp_rate("cl")
+        results["interp_rtl"] = _interp_rate("rtl")
+        results["jit_cl"], _ = _jit_rate("cl")
+        results["jit_rtl"], _ = _jit_rate("rtl")
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert results["jit_rtl"] / results["interp_rtl"] \
+        > results["jit_cl"] / results["interp_cl"]

@@ -1,0 +1,71 @@
+"""Design-space exploration: router buffer depth (Section III-D style).
+
+Not a paper figure — this is the *kind* of study the paper argues the
+framework exists to make cheap: sweep a microarchitectural parameter
+(per-port elastic-buffer depth) across the 8x8 CL mesh and measure the
+latency/throughput consequences.  SimJIT-CL compiles each design point,
+so the whole sweep runs in seconds.
+"""
+
+import pytest
+
+from common import DATA_NBITS, NMSGS, format_table, write_result
+from repro.core.simjit import SimJITCL
+from repro.net import (
+    MeshNetworkStructural,
+    NetworkTrafficHarness,
+    RouterCL,
+    measure_zero_load_latency,
+)
+
+NROUTERS = 64
+DEPTHS = [1, 2, 4, 8]
+RATE = 0.30       # near the nominal saturation point
+NCYCLES = 1200
+
+
+def _build(depth):
+    net = MeshNetworkStructural(
+        RouterCL, NROUTERS, NMSGS, DATA_NBITS, depth).elaborate()
+    return SimJITCL(net).specialize().elaborate()
+
+
+def test_buffer_depth_design_space(benchmark):
+    rows = []
+    measured = {}
+
+    def sweep():
+        for depth in DEPTHS:
+            zero_load = measure_zero_load_latency(_build(depth),
+                                                  npairs=15)
+            stats = NetworkTrafficHarness(_build(depth), seed=9) \
+                .run_uniform_random(RATE, NCYCLES, warmup=200)
+            measured[depth] = (zero_load, stats)
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    for depth in DEPTHS:
+        zero_load, stats = measured[depth]
+        rows.append([
+            depth,
+            f"{zero_load:.1f}",
+            f"{stats.avg_latency:.1f}",
+            f"{stats.throughput:.3f}",
+        ])
+    text = format_table(
+        f"Design space: router buffer depth (8x8 CL mesh, "
+        f"rate={RATE})",
+        ["buffer depth", "zero-load latency", "latency @30%",
+         "throughput @30%"],
+        rows,
+    )
+    write_result("design_space_buffers.txt", text)
+
+    # Deeper buffers must not hurt zero-load latency and must raise
+    # (or hold) delivered throughput under load.
+    zl = {d: measured[d][0] for d in DEPTHS}
+    thr = {d: measured[d][1].throughput for d in DEPTHS}
+    assert zl[8] <= zl[1] + 1.0
+    assert thr[8] >= thr[1] - 0.005
+    # Depth-1 elastic buffers bottleneck a loaded mesh.
+    assert thr[4] > thr[1]

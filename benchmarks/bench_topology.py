@@ -1,0 +1,80 @@
+"""Design-space exploration: network topology (mesh vs ring).
+
+The paper's Section III-D argues the framework makes swapping network
+microarchitectures cheap; this bench swaps the *topology*: the same
+traffic harness characterizes an NxN mesh and an N^2-terminal
+bidirectional ring at equal terminal count.
+
+Expected shape: the ring's average hop count grows linearly with
+terminal count while the mesh's grows with its side length, so the
+mesh wins on zero-load latency and (via bisection bandwidth) on
+saturation throughput at 16+ terminals.
+"""
+
+import pytest
+
+from common import DATA_NBITS, NMSGS, NENTRIES, format_table, write_result
+from repro.core.simjit import SimJITCL
+from repro.net import (
+    MeshNetworkStructural,
+    NetworkTrafficHarness,
+    RingNetworkStructural,
+    RouterCL,
+    measure_zero_load_latency,
+)
+
+NTERMINALS = 16
+# Below the ring's saturation: a VC-less ring deadlocks past it (see
+# repro/net/ring.py), while the mesh keeps absorbing load.
+RATE = 0.10
+NCYCLES = 1200
+
+
+def _mesh():
+    net = MeshNetworkStructural(
+        RouterCL, NTERMINALS, NMSGS, DATA_NBITS, NENTRIES).elaborate()
+    return SimJITCL(net).specialize().elaborate()
+
+
+def _ring():
+    net = RingNetworkStructural(
+        NTERMINALS, NMSGS, DATA_NBITS, NENTRIES).elaborate()
+    return SimJITCL(net).specialize().elaborate()
+
+
+def test_topology_comparison(benchmark):
+    measured = {}
+
+    def run():
+        for name, factory in (("mesh 4x4", _mesh), ("ring 16", _ring)):
+            zero_load = measure_zero_load_latency(factory(), npairs=20)
+            stats = NetworkTrafficHarness(factory(), seed=5) \
+                .run_uniform_random(RATE, NCYCLES, warmup=200)
+            measured[name] = (zero_load, stats)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name, (zero_load, stats) in measured.items():
+        rows.append([
+            name,
+            f"{zero_load:.1f}",
+            f"{stats.avg_latency:.1f}",
+            f"{stats.throughput:.3f}",
+        ])
+    text = format_table(
+        f"Design space: topology at {NTERMINALS} terminals "
+        f"(rate={RATE})",
+        ["topology", "zero-load latency", f"latency @{RATE:.0%}",
+         f"throughput @{RATE:.0%}"],
+        rows,
+    )
+    write_result("design_space_topology.txt", text)
+
+    mesh_zl, mesh_stats = measured["mesh 4x4"]
+    ring_zl, ring_stats = measured["ring 16"]
+    # Mesh wins on distance (diameter 6 vs ring diameter 8) and
+    # carries at least the same delivered load.
+    assert mesh_zl <= ring_zl
+    assert mesh_stats.avg_latency <= ring_stats.avg_latency
+    assert mesh_stats.throughput >= ring_stats.throughput - 0.005

@@ -1,0 +1,16 @@
+"""Benchmark-suite configuration.
+
+The benchmarks regenerate every table and figure of the paper's
+evaluation (see DESIGN.md Section 2).  Each bench prints the rows the
+paper reports and writes them under ``benchmarks/results/``.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import sys
+from pathlib import Path
+
+# Make `import common` work regardless of invocation directory.
+sys.path.insert(0, str(Path(__file__).parent))

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package can be installed in editable mode on machines without the
+``wheel`` package or network access (``python setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,86 @@
+"""repro: reproduction of PyMTL (Lockhart, Zibrat, Batten — MICRO-47 2014).
+
+A unified framework for functional-level (FL), cycle-level (CL), and
+register-transfer-level (RTL) hardware modeling in Python, including:
+
+- a concurrent-structural domain-specific embedded language
+  (:mod:`repro.core`);
+- an event-driven simulator (:class:`repro.core.SimulationTool`);
+- a Verilog-2001 translator (:class:`repro.core.TranslationTool`);
+- SimJIT specializers that compile CL/RTL models to C for fast
+  simulation (:mod:`repro.core.simjit`);
+- a component library, test memories and caches, a small RISC
+  processor, a dot-product accelerator, and a mesh on-chip network —
+  each at multiple abstraction levels.
+
+Quickstart::
+
+    from repro import Model, InPort, OutPort, SimulationTool
+
+    class Register(Model):
+        def __init__(s, nbits):
+            s.in_ = InPort(nbits)
+            s.out = OutPort(nbits)
+
+            @s.tick_rtl
+            def seq_logic():
+                s.out.next = s.in_.value
+
+    model = Register(8).elaborate()
+    sim = SimulationTool(model)
+    sim.reset()
+    model.in_.value = 42
+    sim.cycle()
+    assert model.out == 42
+"""
+
+from .core import (
+    Bits,
+    BitStruct,
+    ChildReqRespBundle,
+    ChildReqRespQueueAdapter,
+    ElaborationError,
+    Field,
+    InPort,
+    InValRdyBundle,
+    ListMemPortAdapter,
+    Model,
+    OutPort,
+    OutValRdyBundle,
+    ParentReqRespBundle,
+    ParentReqRespQueueAdapter,
+    PortBundle,
+    Queue,
+    ReqRespMsgTypes,
+    SimulationError,
+    SimulationTool,
+    Signal,
+    Wire,
+    bw,
+    clog2,
+    concat,
+    elaborate,
+    mk_bitstruct,
+    sext,
+    zext,
+)
+
+from .core.translation import TranslationTool, translate
+from .core.simjit import SimJITCL, SimJITRTL, auto_specialize
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Bits", "BitStruct", "Field", "mk_bitstruct",
+    "InPort", "OutPort", "Signal", "Wire",
+    "Model", "elaborate", "ElaborationError",
+    "SimulationTool", "SimulationError",
+    "PortBundle", "InValRdyBundle", "OutValRdyBundle",
+    "ChildReqRespBundle", "ParentReqRespBundle", "ReqRespMsgTypes",
+    "ChildReqRespQueueAdapter", "ParentReqRespQueueAdapter",
+    "ListMemPortAdapter", "Queue",
+    "bw", "clog2", "concat", "sext", "zext",
+    "TranslationTool", "translate",
+    "SimJITRTL", "SimJITCL", "auto_specialize",
+    "__version__",
+]

@@ -1,0 +1,40 @@
+"""Accelerator substrate: dot-product coprocessor at FL/CL/RTL detail,
+the shared-cache-port arbiter, the compute tile, and software kernels
+(paper Section III-C)."""
+
+from .arbiter import MemArbiter
+from .dotprod_cl import DotProductCL
+from .dotprod_fl import DotProductFL
+from .dotprod_rtl import DotProductCtrl, DotProductDpath, DotProductRTL
+from .kernels import (
+    mvmult_data,
+    mvmult_scalar,
+    mvmult_unrolled,
+    mvmult_xcel,
+)
+from .memcpy_cl import MemcpyCL
+from .memcpy_fl import MemcpyFL
+from .memcpy_rtl import MemcpyRTL
+from .msgs import XcelMsg, XcelReqMsg, XcelRespMsg
+
+_TILE_EXPORTS = ("Tile", "run_tile", "PROC_IMPLS", "CACHE_IMPLS",
+                 "ACCEL_IMPLS")
+
+
+def __getattr__(name):
+    # Tile pulls in the processors, which import this package for the
+    # coprocessor message types — import it lazily to break the cycle.
+    if name in _TILE_EXPORTS:
+        from . import tile
+        return getattr(tile, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "XcelMsg", "XcelReqMsg", "XcelRespMsg",
+    "DotProductFL", "DotProductCL", "DotProductRTL",
+    "DotProductDpath", "DotProductCtrl",
+    "MemcpyFL", "MemcpyCL", "MemcpyRTL",
+    "MemArbiter",
+    "Tile", "run_tile", "PROC_IMPLS", "CACHE_IMPLS", "ACCEL_IMPLS",
+    "mvmult_scalar", "mvmult_unrolled", "mvmult_xcel", "mvmult_data",
+]

@@ -1,0 +1,93 @@
+"""Memory-port arbiter: processor and accelerator share one cache port.
+
+The paper's tile (Figure 5a) gives the accelerator coprocessor a
+*shared* port to the L1 data cache, arbitrated against the processor.
+``MemArbiter`` multiplexes two request/response client interfaces onto
+one memory-side interface: the winning client holds the port until all
+its outstanding responses return (responses are not tagged, so
+interleaving across clients is not allowed); up to ``max_outstanding``
+requests from the owner may pipeline.
+"""
+
+from __future__ import annotations
+
+from ..core import ChildReqRespBundle, Model, ParentReqRespBundle, Wire
+
+
+class MemArbiter(Model):
+    """Two-client, single-owner memory-port arbiter (RTL)."""
+
+    def __init__(s, ifc_types, max_outstanding=3):
+        s.clients = [ChildReqRespBundle(ifc_types) for _ in range(2)]
+        s.mem_ifc = ParentReqRespBundle(ifc_types)
+        s.max_outstanding = max_outstanding
+
+        s.owner = Wire(1)
+        s.count = Wire(4)
+        s.last_grant = Wire(1)
+
+        @s.combinational
+        def arb_comb():
+            if s.reset.uint():
+                s.mem_ifc.req_val.value = 0
+                s.mem_ifc.resp_rdy.value = 0
+                for i in range(2):
+                    s.clients[i].req_rdy.value = 0
+                    s.clients[i].resp_val.value = 0
+            else:
+                busy = s.count.uint() != 0
+                if busy:
+                    grant = s.owner.uint()
+                elif s.clients[s.last_grant.uint() ^ 1].req_val.uint():
+                    grant = s.last_grant.uint() ^ 1
+                else:
+                    grant = s.last_grant.uint()
+
+                can_issue = s.count.uint() < s.max_outstanding
+                for i in range(2):
+                    if i == grant:
+                        s.clients[i].req_rdy.value = (
+                            s.mem_ifc.req_rdy.uint() and can_issue
+                        )
+                        s.clients[i].resp_val.value = \
+                            s.mem_ifc.resp_val.value
+                    else:
+                        s.clients[i].req_rdy.value = 0
+                        s.clients[i].resp_val.value = 0
+                    s.clients[i].resp_msg.value = s.mem_ifc.resp_msg.value
+
+                s.mem_ifc.req_val.value = (
+                    s.clients[grant].req_val.uint() and can_issue
+                )
+                s.mem_ifc.req_msg.value = s.clients[grant].req_msg.value
+                s.mem_ifc.resp_rdy.value = s.clients[grant].resp_rdy.value
+
+        @s.tick_rtl
+        def arb_seq():
+            if s.reset:
+                s.owner.next = 0
+                s.count.next = 0
+                s.last_grant.next = 0
+            else:
+                busy = s.count.uint() != 0
+                if busy:
+                    grant = s.owner.uint()
+                elif s.clients[s.last_grant.uint() ^ 1].req_val.uint():
+                    grant = s.last_grant.uint() ^ 1
+                else:
+                    grant = s.last_grant.uint()
+
+                req_fire = (
+                    s.mem_ifc.req_val.uint() and s.mem_ifc.req_rdy.uint()
+                )
+                resp_fire = (
+                    s.mem_ifc.resp_val.uint() and s.mem_ifc.resp_rdy.uint()
+                )
+                delta = (1 if req_fire else 0) - (1 if resp_fire else 0)
+                s.count.next = s.count.uint() + delta
+                if req_fire:
+                    s.owner.next = grant
+                    s.last_grant.next = grant
+
+    def line_trace(s):
+        return f"own={int(s.owner)} n={int(s.count)}"

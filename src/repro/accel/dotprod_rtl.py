@@ -1,0 +1,246 @@
+"""RTL dot-product accelerator (paper Figure 9).
+
+Register-transfer-level implementation split into a datapath and a
+control unit connected by ``connect_auto`` over ``CtrlSignals`` /
+``StatusSignals`` BitStruct buses — the structure of paper Figure 9.
+
+Microarchitecture (four stages, as in the paper):
+
+- **M** (memory request): issue pipelined reads, alternating
+  src0[i]/src1[i], as fast as the memory accepts them;
+- **R** (memory response): latch returned words into the src0/src1
+  operand registers (responses return in order);
+- **X** (execute): a 4-stage pipelined integer multiplier; a valid-bit
+  shift register in the control unit tracks pipeline occupancy;
+- **A** (accumulate): running sum; when ``size`` products have been
+  accumulated the result is returned to the processor.
+
+The datapath owns all message-field signals; the control unit owns all
+val/rdy signals.  Both expose the ``cpu_ifc``/``mem_ifc`` bundles and
+are tied to the same top-level nets, so each drives only its half.
+"""
+
+from __future__ import annotations
+
+from ..components.arith import IntPipelinedMultiplier
+from ..core import (
+    BitStruct,
+    ChildReqRespBundle,
+    Field,
+    InPort,
+    Model,
+    OutPort,
+    ParentReqRespBundle,
+    Wire,
+)
+
+_NSTAGES = 4
+
+# Control FSM states.
+_IDLE = 0
+_RUN = 1
+_RESP = 2
+
+
+class CtrlSignals(BitStruct):
+    """Control bus: ctrl -> dpath (paper Figure 9's ``cs``)."""
+
+    update_M = Field(1)
+    counters_clear = Field(1)
+    sent_en = Field(1)
+    got_en = Field(1)
+    accum_en_A = Field(1)
+
+
+class StatusSignals(BitStruct):
+    """Status bus: dpath -> ctrl (paper Figure 9's ``ss``)."""
+
+    go = Field(1)
+    sent_done = Field(1)
+    got_parity = Field(1)
+    accum_done = Field(1)
+
+
+class DotProductDpath(Model):
+    """Datapath: M/R/X/A stage registers and the multiply-accumulate."""
+
+    def __init__(s, mem_ifc_types, cpu_ifc_types):
+        s.cpu_ifc = ChildReqRespBundle(cpu_ifc_types)
+        s.mem_ifc = ParentReqRespBundle(mem_ifc_types)
+        s.cs = InPort(CtrlSignals)
+        s.ss = OutPort(StatusSignals)
+
+        # --- Stage M: configuration + request generation -------------
+        s.size = Wire(32)
+        s.src0_addr_M = Wire(32)
+        s.src1_addr_M = Wire(32)
+        s.sent = Wire(32)
+        s.got = Wire(32)
+        s.go_r = Wire(1)
+
+        @s.tick_rtl
+        def stage_seq_M():
+            go_next = 0
+            if s.cs.update_M.value.uint():
+                ctrl_msg = s.cpu_ifc.req_msg.ctrl_msg.value.uint()
+                cpu_data = s.cpu_ifc.req_msg.data.value
+                if ctrl_msg == 1:
+                    s.size.next = cpu_data
+                elif ctrl_msg == 2:
+                    s.src0_addr_M.next = cpu_data
+                elif ctrl_msg == 3:
+                    s.src1_addr_M.next = cpu_data
+                elif ctrl_msg == 0:
+                    go_next = 1
+            s.go_r.next = go_next
+
+            if s.cs.counters_clear.value.uint():
+                s.sent.next = 0
+                s.got.next = 0
+            else:
+                if s.cs.sent_en.value.uint():
+                    s.sent.next = s.sent + 1
+                if s.cs.got_en.value.uint():
+                    s.got.next = s.got + 1
+
+        @s.combinational
+        def stage_comb_M():
+            if s.sent.uint() & 1:
+                base_addr_M = s.src1_addr_M.uint()
+            else:
+                base_addr_M = s.src0_addr_M.uint()
+
+            s.mem_ifc.req_msg.type_.value = 0
+            s.mem_ifc.req_msg.addr.value = \
+                (base_addr_M + ((s.sent.uint() >> 1) << 2)) & 0xFFFFFFFF
+            s.mem_ifc.req_msg.data.value = 0
+
+            s.ss.sent_done.value = s.sent.uint() == (s.size.uint() << 1)
+            s.ss.got_parity.value = s.got.uint() & 1
+            s.ss.go.value = s.go_r.value
+
+        # --- Stage R: memory response ---------------------------------
+        s.src0_data_R = Wire(32)
+        s.src1_data_R = Wire(32)
+
+        @s.tick_rtl
+        def stage_seq_R():
+            if s.cs.got_en.value.uint():
+                if s.got.uint() & 1:
+                    s.src1_data_R.next = s.mem_ifc.resp_msg.data.value
+                else:
+                    s.src0_data_R.next = s.mem_ifc.resp_msg.data.value
+
+        # --- Stage X: execute (pipelined multiply) ---------------------
+        s.result_X = Wire(32)
+        s.mul = IntPipelinedMultiplier(nbits=32, nstages=_NSTAGES)
+        s.connect_dict({
+            s.mul.op_a: s.src0_data_R,
+            s.mul.op_b: s.src1_data_R,
+            s.mul.product: s.result_X,
+        })
+
+        # --- Stage A: accumulate ----------------------------------------
+        s.accum_A = Wire(32)
+        s.accum_out = Wire(32)
+        s.acc_count = Wire(32)
+
+        @s.tick_rtl
+        def stage_seq_A():
+            if s.reset.uint() or s.cs.counters_clear.value.uint():
+                s.accum_A.next = 0
+                s.acc_count.next = 0
+            elif s.cs.accum_en_A.value.uint():
+                s.accum_A.next = s.accum_out.value
+                s.acc_count.next = s.acc_count + 1
+
+        @s.combinational
+        def stage_comb_A():
+            s.accum_out.value = (s.result_X.uint() + s.accum_A.uint()) \
+                & 0xFFFFFFFF
+            s.cpu_ifc.resp_msg.data.value = s.accum_A.value
+            s.ss.accum_done.value = s.acc_count.uint() == s.size.uint()
+
+
+class DotProductCtrl(Model):
+    """Control unit: interface handshaking and the multiplier
+    occupancy pipeline."""
+
+    def __init__(s, mem_ifc_types, cpu_ifc_types):
+        s.cpu_ifc = ChildReqRespBundle(cpu_ifc_types)
+        s.mem_ifc = ParentReqRespBundle(mem_ifc_types)
+        s.cs = OutPort(CtrlSignals)
+        s.ss = InPort(StatusSignals)
+
+        s.state = Wire(2)
+        s.valid = Wire(_NSTAGES + 1)     # X-stage occupancy bits
+
+        @s.combinational
+        def ctrl_comb():
+            state = s.state.uint()
+            if s.reset.uint():
+                state = -1
+            idle = state == _IDLE
+            run = state == _RUN
+
+            s.cpu_ifc.req_rdy.value = idle
+            s.cpu_ifc.resp_val.value = state == _RESP
+
+            s.mem_ifc.req_val.value = \
+                run and not s.ss.sent_done.value.uint()
+            s.mem_ifc.resp_rdy.value = run
+
+            s.cs.update_M.value = idle and s.cpu_ifc.req_val.uint()
+            s.cs.counters_clear.value = idle
+            s.cs.sent_en.value = (
+                s.mem_ifc.req_val.uint() and s.mem_ifc.req_rdy.uint()
+            )
+            s.cs.got_en.value = (
+                s.mem_ifc.resp_val.uint() and s.mem_ifc.resp_rdy.uint()
+            )
+            s.cs.accum_en_A.value = (s.valid.uint() >> _NSTAGES) & 1
+
+        @s.tick_rtl
+        def ctrl_seq():
+            if s.reset:
+                s.state.next = _IDLE
+                s.valid.next = 0
+            elif s.state.uint() == _IDLE:
+                s.valid.next = 0
+                if s.ss.go.value.uint():
+                    s.state.next = _RUN
+            elif s.state.uint() == _RUN:
+                pair_in = (
+                    s.cs.got_en.value.uint()
+                    and s.ss.got_parity.value.uint()
+                )
+                s.valid.next = (s.valid.uint() << 1) | (1 if pair_in else 0)
+                if s.ss.accum_done.value.uint():
+                    s.state.next = _RESP
+            elif s.state.uint() == _RESP:
+                if s.cpu_ifc.resp_val.uint() and s.cpu_ifc.resp_rdy.uint():
+                    s.state.next = _IDLE
+
+
+class DotProductRTL(Model):
+    """Top level: datapath + control connected by ``connect_auto``
+    (paper Figure 9)."""
+
+    def __init__(s, mem_ifc_types, cpu_ifc_types):
+        s.cpu_ifc = ChildReqRespBundle(cpu_ifc_types)
+        s.mem_ifc = ParentReqRespBundle(mem_ifc_types)
+
+        s.dpath = DotProductDpath(mem_ifc_types, cpu_ifc_types)
+        s.ctrl = DotProductCtrl(mem_ifc_types, cpu_ifc_types)
+        s.connect_auto(s.dpath, s.ctrl)
+
+        # Dpath and ctrl each drive half of the shared interfaces
+        # (messages vs. handshakes); tie both to the top-level bundles.
+        s.connect(s.cpu_ifc, s.dpath.cpu_ifc)
+        s.connect(s.mem_ifc, s.dpath.mem_ifc)
+        s.connect(s.cpu_ifc, s.ctrl.cpu_ifc)
+        s.connect(s.mem_ifc, s.ctrl.mem_ifc)
+
+    def line_trace(s):
+        return (f"st={int(s.ctrl.state)} sent={int(s.dpath.sent)} "
+                f"got={int(s.dpath.got)} acc={int(s.dpath.accum_A):x}")

@@ -1,0 +1,161 @@
+"""Software kernels for the tile case study (paper Section III-C).
+
+Generates MinRISC assembly for matrix-vector multiplication, the
+workload the paper uses to evaluate the dot-product accelerator:
+
+- :func:`mvmult_scalar` — straightforward scalar inner loop;
+- :func:`mvmult_unrolled` — inner loop unrolled 4x (the paper's
+  "traditional scalar implementation with loop-unrolling
+  optimizations" baseline);
+- :func:`mvmult_xcel` — offloads each row's dot product to the
+  accelerator via ``xcel`` configuration/go messages.
+
+All kernels compute y = A @ x for a ``rows`` x ``cols`` matrix laid
+out row-major at ``a_base``, vector at ``x_base``, result at
+``y_base``, and leave the last row's result in r10.
+"""
+
+from __future__ import annotations
+
+A_BASE = 0x2000
+X_BASE = 0x8000
+Y_BASE = 0xA000
+
+
+def mvmult_data(rows, cols, a_base=A_BASE, x_base=X_BASE, seed=1):
+    """Deterministic input data: {addr: word} plus the expected y."""
+    a = [[(seed + i * cols + j) % 64 for j in range(cols)]
+         for i in range(rows)]
+    x = [(seed * 3 + j) % 32 for j in range(cols)]
+    data = {}
+    for i in range(rows):
+        for j in range(cols):
+            data[a_base + 4 * (i * cols + j)] = a[i][j]
+    for j in range(cols):
+        data[x_base + 4 * j] = x[j]
+    expected = [
+        sum(a[i][j] * x[j] for j in range(cols)) & 0xFFFFFFFF
+        for i in range(rows)
+    ]
+    return data, expected
+
+
+def mvmult_scalar(rows, cols, a_base=A_BASE, x_base=X_BASE, y_base=Y_BASE):
+    """Scalar matrix-vector multiply."""
+    return f"""
+        li   r1, {a_base}        # A pointer (walks the whole matrix)
+        li   r9, {x_base}        # x base
+        li   r8, {y_base}        # y pointer
+        li   r3, {rows}
+    row_loop:
+        li   r4, {cols}
+        li   r10, 0
+        mv   r2, r9
+    inner:
+        lw   r5, 0(r1)
+        lw   r6, 0(r2)
+        mul  r7, r5, r6
+        add  r10, r10, r7
+        addi r1, r1, 4
+        addi r2, r2, 4
+        addi r4, r4, -1
+        bne  r4, r0, inner
+        sw   r10, 0(r8)
+        addi r8, r8, 4
+        addi r3, r3, -1
+        bne  r3, r0, row_loop
+        halt
+    """
+
+
+def mvmult_unrolled(rows, cols, a_base=A_BASE, x_base=X_BASE,
+                    y_base=Y_BASE):
+    """Matrix-vector multiply with the inner loop unrolled 4x
+    (requires ``cols % 4 == 0``)."""
+    if cols % 4:
+        raise ValueError("unrolled kernel requires cols divisible by 4")
+    body = []
+    for k in range(4):
+        body.append(f"""
+        lw   r5, {4 * k}(r1)
+        lw   r6, {4 * k}(r2)
+        mul  r7, r5, r6
+        add  r10, r10, r7""")
+    unrolled = "".join(body)
+    return f"""
+        li   r1, {a_base}
+        li   r9, {x_base}
+        li   r8, {y_base}
+        li   r3, {rows}
+    row_loop:
+        li   r4, {cols // 4}
+        li   r10, 0
+        mv   r2, r9
+    inner:{unrolled}
+        addi r1, r1, 16
+        addi r2, r2, 16
+        addi r4, r4, -1
+        bne  r4, r0, inner
+        sw   r10, 0(r8)
+        addi r8, r8, 4
+        addi r3, r3, -1
+        bne  r3, r0, row_loop
+        halt
+    """
+
+
+def copy_scalar(nwords, src=A_BASE, dst=Y_BASE):
+    """Scalar word-copy loop (the software baseline for the DMA
+    accelerator)."""
+    return f"""
+        li   r1, {src}
+        li   r2, {dst}
+        li   r3, {nwords}
+    loop:
+        lw   r4, 0(r1)
+        sw   r4, 0(r2)
+        addi r1, r1, 4
+        addi r2, r2, 4
+        addi r3, r3, -1
+        bne  r3, r0, loop
+        halt
+    """
+
+
+def copy_xcel(nwords, src=A_BASE, dst=Y_BASE):
+    """Offload the copy to the memcpy/DMA coprocessor (ctrl ids from
+    repro.accel.memcpy_fl: 1 = size, 2 = src, 4 = dst, 0 = go)."""
+    return f"""
+        li   r1, {nwords}
+        xcel r0, r1, 1
+        li   r2, {src}
+        xcel r0, r2, 2
+        li   r3, {dst}
+        xcel r0, r3, 4
+        xcel r10, r0, 0      # go: r10 = words copied
+        halt
+    """
+
+
+def mvmult_xcel(rows, cols, a_base=A_BASE, x_base=X_BASE, y_base=Y_BASE):
+    """Matrix-vector multiply offloading each row's dot product to the
+    accelerator (paper Section III-C protocol)."""
+    return f"""
+        li   r1, {cols}
+        xcel r0, r1, 1           # size = cols
+        li   r9, {x_base}
+        xcel r0, r9, 3           # src1 = x (set once)
+        li   r2, {a_base}
+        li   r8, {y_base}
+        li   r3, {rows}
+        li   r12, {4 * cols}     # row stride
+    row_loop:
+        xcel r0, r2, 2           # src0 = current row
+        xcel r10, r0, 0          # go: r10 = dot(row, x)
+        sw   r10, 0(r8)
+        add  r2, r2, r12
+        addi r8, r8, 4
+        addi r3, r3, -1
+        bne  r3, r0, row_loop
+        halt
+    """

@@ -1,0 +1,85 @@
+"""CL memcpy (DMA) accelerator: pipelined reads chased by writes."""
+
+from __future__ import annotations
+
+from ..core import (
+    ChildReqRespBundle,
+    ChildReqRespQueueAdapter,
+    Model,
+    ParentReqRespBundle,
+    ParentReqRespQueueAdapter,
+)
+from ..mem.msgs import MEM_REQ_WRITE, MemReqMsg
+from .memcpy_fl import CTRL_DST, CTRL_GO, CTRL_SIZE, CTRL_SRC
+from .msgs import XcelRespMsg
+
+
+class MemcpyCL(Model):
+    """Cycle-level DMA engine: one memory request per cycle, reads
+    issued ahead, each returned word immediately turned into a write."""
+
+    def __init__(s, mem_ifc_types, cpu_ifc_types):
+        s.cpu_ifc = ChildReqRespBundle(cpu_ifc_types)
+        s.mem_ifc = ParentReqRespBundle(mem_ifc_types)
+
+        s.cpu = ChildReqRespQueueAdapter(s.cpu_ifc)
+        s.mem = ParentReqRespQueueAdapter(s.mem_ifc)
+
+        s.go = False
+        s.size = 0
+        s.src = 0
+        s.dst = 0
+        s.reads_sent = 0
+        s.writes_sent = 0
+        s.acks = 0
+        s.read_data = []
+
+        @s.tick_cl
+        def logic():
+            s.cpu.xtick()
+            s.mem.xtick()
+            if s.reset:
+                s.go = False
+                s.read_data = []
+                return
+
+            if s.go:
+                if not s.mem.req_q.full():
+                    if s.read_data:
+                        # Drain pending writes first (keeps ordering).
+                        value = s.read_data.pop(0)
+                        s.mem.push_req(MemReqMsg.mk_wr(
+                            s.dst + 4 * s.writes_sent, value))
+                        s.writes_sent += 1
+                    elif s.reads_sent < s.size:
+                        s.mem.push_req(MemReqMsg.mk_rd(
+                            s.src + 4 * s.reads_sent))
+                        s.reads_sent += 1
+                if not s.mem.resp_q.empty():
+                    resp = s.mem.get_resp()
+                    if int(resp.type_) == MEM_REQ_WRITE:
+                        s.acks += 1
+                    else:
+                        s.read_data.append(int(resp.data))
+                if s.acks == s.size and not s.cpu.resp_q.full():
+                    s.cpu.push_resp(XcelRespMsg.mk(s.size))
+                    s.go = False
+
+            elif not s.cpu.req_q.empty() and not s.cpu.resp_q.full():
+                req = s.cpu.get_req()
+                if req.ctrl_msg == CTRL_SIZE:
+                    s.size = int(req.data)
+                elif req.ctrl_msg == CTRL_SRC:
+                    s.src = int(req.data)
+                elif req.ctrl_msg == CTRL_DST:
+                    s.dst = int(req.data)
+                elif req.ctrl_msg == CTRL_GO:
+                    s.reads_sent = 0
+                    s.writes_sent = 0
+                    s.acks = 0
+                    s.read_data = []
+                    s.go = True
+
+    def line_trace(s):
+        return (f"go={int(s.go)} r={s.reads_sent} w={s.writes_sent} "
+                f"a={s.acks}")

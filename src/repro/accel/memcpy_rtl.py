@@ -1,0 +1,103 @@
+"""RTL memcpy (DMA) accelerator: read/write FSM in the translatable
+subset."""
+
+from __future__ import annotations
+
+from ..core import ChildReqRespBundle, Model, ParentReqRespBundle, Wire
+
+# FSM states.
+_IDLE = 0
+_READ_REQ = 1
+_READ_WAIT = 2
+_WRITE_REQ = 3
+_WRITE_WAIT = 4
+_RESP = 5
+
+# Protocol control ids (shared with the FL/CL models).
+_CTRL_GO = 0
+_CTRL_SIZE = 1
+_CTRL_SRC = 2
+_CTRL_DST = 4
+
+
+class MemcpyRTL(Model):
+    """Register-transfer-level DMA engine (one word in flight)."""
+
+    def __init__(s, mem_ifc_types, cpu_ifc_types):
+        s.cpu_ifc = ChildReqRespBundle(cpu_ifc_types)
+        s.mem_ifc = ParentReqRespBundle(mem_ifc_types)
+
+        s.state = Wire(3)
+        s.size = Wire(32)
+        s.src = Wire(32)
+        s.dst = Wire(32)
+        s.count = Wire(32)
+        s.word = Wire(32)
+
+        @s.tick_rtl
+        def seq_logic():
+            if s.reset:
+                s.state.next = _IDLE
+            elif s.state.uint() == _IDLE:
+                if s.cpu_ifc.req_val.uint() and s.cpu_ifc.req_rdy.uint():
+                    ctrl = s.cpu_ifc.req_msg.ctrl_msg.value.uint()
+                    data = s.cpu_ifc.req_msg.data.value
+                    if ctrl == _CTRL_SIZE:
+                        s.size.next = data
+                    elif ctrl == _CTRL_SRC:
+                        s.src.next = data
+                    elif ctrl == _CTRL_DST:
+                        s.dst.next = data
+                    elif ctrl == _CTRL_GO:
+                        s.count.next = 0
+                        if s.size.uint() == 0:
+                            s.state.next = _RESP
+                        else:
+                            s.state.next = _READ_REQ
+            elif s.state.uint() == _READ_REQ:
+                if s.mem_ifc.req_rdy.uint():
+                    s.state.next = _READ_WAIT
+            elif s.state.uint() == _READ_WAIT:
+                if s.mem_ifc.resp_val.uint():
+                    s.word.next = s.mem_ifc.resp_msg.data.value
+                    s.state.next = _WRITE_REQ
+            elif s.state.uint() == _WRITE_REQ:
+                if s.mem_ifc.req_rdy.uint():
+                    s.state.next = _WRITE_WAIT
+            elif s.state.uint() == _WRITE_WAIT:
+                if s.mem_ifc.resp_val.uint():
+                    if s.count.uint() + 1 == s.size.uint():
+                        s.state.next = _RESP
+                    else:
+                        s.state.next = _READ_REQ
+                    s.count.next = s.count + 1
+            elif s.state.uint() == _RESP:
+                if s.cpu_ifc.resp_val.uint() \
+                        and s.cpu_ifc.resp_rdy.uint():
+                    s.state.next = _IDLE
+
+        @s.combinational
+        def comb_logic():
+            state = s.state.uint()
+            if s.reset.uint():
+                state = -1
+            s.cpu_ifc.req_rdy.value = state == _IDLE
+            s.cpu_ifc.resp_val.value = state == _RESP
+            s.cpu_ifc.resp_msg.data.value = s.size.value
+
+            read = state == _READ_REQ
+            write = state == _WRITE_REQ
+            s.mem_ifc.req_val.value = 1 if (read or write) else 0
+            s.mem_ifc.req_msg.type_.value = 0 if read else 1
+            if read:
+                s.mem_ifc.req_msg.addr.value = \
+                    (s.src.uint() + 4 * s.count.uint()) & 0xFFFFFFFF
+            else:
+                s.mem_ifc.req_msg.addr.value = \
+                    (s.dst.uint() + 4 * s.count.uint()) & 0xFFFFFFFF
+            s.mem_ifc.req_msg.data.value = s.word.value
+            s.mem_ifc.resp_rdy.value = \
+                1 if (state == _READ_WAIT or state == _WRITE_WAIT) else 0
+
+    def line_trace(s):
+        return f"st={int(s.state)} n={int(s.count)}/{int(s.size)}"

@@ -1,0 +1,41 @@
+"""Accelerator coprocessor interface message types.
+
+The processor talks to the accelerator over a latency-insensitive
+request/response interface (paper Section III-C): requests carry a
+control-message id plus a data word; responses carry a data word.
+Control-message ids follow the paper's protocol (1 = set size, 2 = set
+src0 base, 3 = set src1 base, 0 = go; only "go" produces a response).
+"""
+
+from __future__ import annotations
+
+from ..core import BitStruct, Field, ReqRespMsgTypes
+
+
+class XcelReqMsg(BitStruct):
+    ctrl_msg = Field(3)
+    data = Field(32)
+
+    @classmethod
+    def mk(cls, ctrl_msg, data):
+        msg = cls()
+        msg.ctrl_msg = ctrl_msg
+        msg.data = data
+        return msg
+
+
+class XcelRespMsg(BitStruct):
+    data = Field(32)
+
+    @classmethod
+    def mk(cls, data):
+        msg = cls()
+        msg.data = data
+        return msg
+
+
+class XcelMsg(ReqRespMsgTypes):
+    """Coprocessor interface types: ``XcelMsg().req`` / ``.resp``."""
+
+    def __init__(self):
+        super().__init__(XcelReqMsg, XcelRespMsg)

@@ -1,0 +1,33 @@
+"""Reusable component library: registers, muxes, arithmetic, queues,
+arbiters, and val/rdy test harness models."""
+
+from .arbiters import RoundRobinArbiter
+from .crossbar import Crossbar
+from .encoders import Decoder, Encoder, OneHotMux, PriorityEncoder
+from .gcd import GcdReqMsg, GcdUnitCL, GcdUnitFL, GcdUnitRTL, gcd_cycle_count
+from .arith import (
+    Adder,
+    EqComparator,
+    Incrementer,
+    IntPipelinedMultiplier,
+    LtComparator,
+    Subtractor,
+    ZeroExtender,
+)
+from .muxes import Demux, Mux
+from .queues import BypassQueue, NormalQueue, QueueCL
+from .registers import Counter, RegEn, RegEnRst, RegRst, Register
+from .test_srcsink import TestSink, TestSource, run_src_sink_test
+
+__all__ = [
+    "Adder", "Subtractor", "Incrementer", "EqComparator", "LtComparator",
+    "ZeroExtender", "IntPipelinedMultiplier",
+    "Mux", "Demux",
+    "Register", "RegEn", "RegRst", "RegEnRst", "Counter",
+    "NormalQueue", "BypassQueue", "QueueCL",
+    "RoundRobinArbiter",
+    "GcdUnitFL", "GcdUnitCL", "GcdUnitRTL", "GcdReqMsg",
+    "gcd_cycle_count",
+    "Decoder", "Encoder", "PriorityEncoder", "OneHotMux", "Crossbar",
+    "TestSource", "TestSink", "run_src_sink_test",
+]

@@ -1,0 +1,48 @@
+"""Arbiters: fair selection among competing requesters."""
+
+from __future__ import annotations
+
+from ..core import InPort, Model, OutPort, Wire
+
+
+class RoundRobinArbiter(Model):
+    """Round-robin arbiter over a request bit-vector.
+
+    ``grants`` is one-hot (or zero when there are no requests).  The
+    priority pointer advances past the most recent winner, giving each
+    requester a fair share under contention — the arbitration policy
+    the mesh routers use.
+    """
+
+    def __init__(s, nreqs):
+        s.reqs = InPort(nreqs)
+        s.grants = OutPort(nreqs)
+        s.nreqs = nreqs
+        s.priority = Wire(max(1, (nreqs - 1).bit_length()))
+
+        @s.combinational
+        def arb_logic():
+            reqs = s.reqs.value.uint()
+            grants = 0
+            start = s.priority.uint()
+            for i in range(s.nreqs):
+                idx = (start + i) % s.nreqs
+                if grants == 0 and ((reqs >> idx) & 1):
+                    grants = 1 << idx
+            s.grants.value = grants
+
+        @s.tick_rtl
+        def seq_logic():
+            if s.reset:
+                s.priority.next = 0
+            else:
+                grants = s.grants.value.uint()
+                if grants:
+                    winner = 0
+                    for i in range(s.nreqs):
+                        if (grants >> i) & 1:
+                            winner = i
+                    s.priority.next = (winner + 1) % s.nreqs
+
+    def line_trace(s):
+        return f"r{s.reqs.value.bin()[2:]}g{s.grants.value.bin()[2:]}"

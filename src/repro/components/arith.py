@@ -1,0 +1,115 @@
+"""Combinational and pipelined arithmetic components."""
+
+from __future__ import annotations
+
+from ..core import InPort, Model, OutPort, Wire
+
+
+class Adder(Model):
+    """Combinational adder with carry out."""
+
+    def __init__(s, nbits):
+        s.in0 = InPort(nbits)
+        s.in1 = InPort(nbits)
+        s.cin = InPort(1)
+        s.out = OutPort(nbits)
+        s.cout = OutPort(1)
+        s.nbits = nbits
+
+        @s.combinational
+        def comb_logic():
+            total = s.in0.value.uint() + s.in1.value.uint() + s.cin.value.uint()
+            s.out.value = total
+            s.cout.value = total >> s.nbits
+
+
+class Subtractor(Model):
+    """Combinational subtractor (wrap-around)."""
+
+    def __init__(s, nbits):
+        s.in0 = InPort(nbits)
+        s.in1 = InPort(nbits)
+        s.out = OutPort(nbits)
+
+        @s.combinational
+        def comb_logic():
+            s.out.value = s.in0.value - s.in1.value
+
+
+class Incrementer(Model):
+    """Combinational +constant."""
+
+    def __init__(s, nbits, amount=1):
+        s.in_ = InPort(nbits)
+        s.out = OutPort(nbits)
+        s.amount = amount
+
+        @s.combinational
+        def comb_logic():
+            s.out.value = s.in_ + s.amount
+
+
+class EqComparator(Model):
+    """out = (in0 == in1)."""
+
+    def __init__(s, nbits):
+        s.in0 = InPort(nbits)
+        s.in1 = InPort(nbits)
+        s.out = OutPort(1)
+
+        @s.combinational
+        def comb_logic():
+            s.out.value = s.in0.value == s.in1.value
+
+
+class LtComparator(Model):
+    """out = (in0 < in1), unsigned."""
+
+    def __init__(s, nbits):
+        s.in0 = InPort(nbits)
+        s.in1 = InPort(nbits)
+        s.out = OutPort(1)
+
+        @s.combinational
+        def comb_logic():
+            s.out.value = s.in0.value < s.in1.value
+
+
+class ZeroExtender(Model):
+    """Widen a value with zeroes."""
+
+    def __init__(s, in_nbits, out_nbits):
+        s.in_ = InPort(in_nbits)
+        s.out = OutPort(out_nbits)
+
+        @s.combinational
+        def comb_logic():
+            s.out.value = s.in_.value.zext(s.out.nbits)
+
+
+class IntPipelinedMultiplier(Model):
+    """Integer multiplier with a parameterizable pipeline depth
+    (paper Figure 9: the accelerator's Execute stage).
+
+    The product of ``op_a * op_b`` appears on ``product`` exactly
+    ``nstages`` cycles after the operands are presented.
+    """
+
+    def __init__(s, nbits, nstages=4):
+        if nstages < 1:
+            raise ValueError("nstages must be >= 1")
+        s.op_a = InPort(nbits)
+        s.op_b = InPort(nbits)
+        s.product = OutPort(nbits)
+        s.nstages = nstages
+        s.stage = [Wire(nbits) for _ in range(nstages)]
+
+        @s.tick_rtl
+        def seq_logic():
+            s.stage[0].next = s.op_a.value * s.op_b.value
+            for i in range(1, s.nstages):
+                s.stage[i].next = s.stage[i - 1].value
+
+        @s.combinational
+        def comb_logic():
+            s.product.value = s.stage[s.nstages - 1].value

@@ -1,0 +1,25 @@
+"""Crossbar switch: any input to any output, per-output select."""
+
+from __future__ import annotations
+
+from ..core import InPort, Model, OutPort, bw
+
+
+class Crossbar(Model):
+    """N x N combinational crossbar.
+
+    ``sel[j]`` names the input forwarded to output ``j``; several
+    outputs may select the same input (multicast is free in a mux-based
+    crossbar).
+    """
+
+    def __init__(s, nbits, nports):
+        s.in_ = InPort[nports](nbits)
+        s.sel = [InPort(bw(nports)) for _ in range(nports)]
+        s.out = OutPort[nports](nbits)
+        s.nports = nports
+
+        @s.combinational
+        def comb_logic():
+            for j in range(s.nports):
+                s.out[j].value = s.in_[s.sel[j].uint()].value

@@ -1,0 +1,84 @@
+"""Encoders and decoders — small combinational building blocks.
+
+All Verilog-translatable and SimJIT-compatible.
+"""
+
+from __future__ import annotations
+
+from ..core import InPort, Model, OutPort, bw
+
+
+class Decoder(Model):
+    """Binary -> one-hot decoder with enable."""
+
+    def __init__(s, nbits):
+        s.in_ = InPort(nbits)
+        s.en = InPort(1)
+        s.out = OutPort(1 << nbits)
+
+        @s.combinational
+        def comb_logic():
+            if s.en.uint():
+                s.out.value = 1 << s.in_.uint()
+            else:
+                s.out.value = 0
+
+
+class Encoder(Model):
+    """One-hot -> binary encoder (lowest set bit wins)."""
+
+    def __init__(s, nports):
+        s.in_ = InPort(nports)
+        s.out = OutPort(bw(nports))
+        s.valid = OutPort(1)
+        s.nports = nports
+
+        @s.combinational
+        def comb_logic():
+            value = 0
+            found = 0
+            for i in range(s.nports):
+                if found == 0 and ((s.in_.uint() >> i) & 1):
+                    value = i
+                    found = 1
+            s.out.value = value
+            s.valid.value = found
+
+
+class PriorityEncoder(Model):
+    """Priority encoder: index of the highest set bit."""
+
+    def __init__(s, nports):
+        s.in_ = InPort(nports)
+        s.out = OutPort(bw(nports))
+        s.valid = OutPort(1)
+        s.nports = nports
+
+        @s.combinational
+        def comb_logic():
+            value = 0
+            found = 0
+            for i in range(s.nports):
+                if (s.in_.uint() >> i) & 1:
+                    value = i
+                    found = 1
+            s.out.value = value
+            s.valid.value = found
+
+
+class OneHotMux(Model):
+    """Mux with a one-hot select (no binary decode stage)."""
+
+    def __init__(s, nbits, nports):
+        s.in_ = InPort[nports](nbits)
+        s.sel = InPort(nports)
+        s.out = OutPort(nbits)
+        s.nports = nports
+
+        @s.combinational
+        def comb_logic():
+            value = 0
+            for i in range(s.nports):
+                if (s.sel.uint() >> i) & 1:
+                    value = value | s.in_[i].uint()
+            s.out.value = value

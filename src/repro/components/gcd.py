@@ -1,0 +1,176 @@
+"""GCD unit at FL, CL, and RTL — the classic PyMTL tutorial design.
+
+A latency-insensitive greatest-common-divisor unit: requests carry an
+operand pair, responses carry the GCD.  The three implementations
+share one interface, so one test bench verifies all of them
+(TUTORIAL.md walks through this file).
+
+- :class:`GcdUnitFL` — functional: ``math.gcd`` per accepted request.
+- :class:`GcdUnitCL` — cycle-level: models the iteration count of the
+  subtractive algorithm (one cycle per subtract/swap) without building
+  the datapath.
+- :class:`GcdUnitRTL` — register-transfer level: an FSM with two
+  operand registers, a subtractor, and a swap path; SimJIT- and
+  Verilog-translatable.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+from ..core import (
+    BitStruct,
+    Field,
+    InValRdyBundle,
+    Model,
+    OutValRdyBundle,
+    Wire,
+)
+
+NBITS = 16
+
+
+class GcdReqMsg(BitStruct):
+    a = Field(NBITS)
+    b = Field(NBITS)
+
+    @classmethod
+    def mk(cls, a, b):
+        msg = cls()
+        msg.a = a
+        msg.b = b
+        return msg
+
+
+class GcdUnitFL(Model):
+    """Functional GCD: one result per cycle, no timing model."""
+
+    def __init__(s):
+        s.req = InValRdyBundle(GcdReqMsg)
+        s.resp = OutValRdyBundle(NBITS)
+        s.result_q = deque()
+
+        @s.tick_fl
+        def logic():
+            if s.reset:
+                s.result_q.clear()
+                s.req.rdy.next = 0
+                s.resp.val.next = 0
+                return
+            if int(s.resp.val) and int(s.resp.rdy):
+                s.result_q.popleft()
+            if int(s.req.val) and int(s.req.rdy):
+                msg = s.req.msg.value
+                s.result_q.append(math.gcd(int(msg.a), int(msg.b)))
+            s.req.rdy.next = len(s.result_q) < 2
+            if s.result_q:
+                s.resp.val.next = 1
+                s.resp.msg.next = s.result_q[0]
+            else:
+                s.resp.val.next = 0
+
+
+def gcd_cycle_count(a, b):
+    """Iterations of the subtractive algorithm (the CL timing model
+    and the RTL unit's expected latency)."""
+    count = 0
+    while b:
+        if a < b:
+            a, b = b, a
+        else:
+            a = a - b
+        count += 1
+    return max(1, count)
+
+
+class GcdUnitCL(Model):
+    """Cycle-level GCD: right answer after the right number of cycles,
+    no datapath."""
+
+    def __init__(s):
+        s.req = InValRdyBundle(GcdReqMsg)
+        s.resp = OutValRdyBundle(NBITS)
+        s.busy = 0
+        s.counter = 0
+        s.result = 0
+
+        @s.tick_cl
+        def logic():
+            if s.reset:
+                s.busy = 0
+                s.req.rdy.next = 0
+                s.resp.val.next = 0
+                return
+            if s.busy:
+                if s.counter > 0:
+                    s.counter -= 1
+                elif int(s.resp.val) and int(s.resp.rdy):
+                    s.busy = 0
+                s.resp.val.next = 1 if (s.busy and s.counter == 0) else 0
+                s.resp.msg.next = s.result
+                s.req.rdy.next = 0 if s.busy else 1
+            else:
+                if int(s.req.val) and int(s.req.rdy):
+                    msg = s.req.msg.value
+                    s.result = math.gcd(int(msg.a), int(msg.b))
+                    s.counter = gcd_cycle_count(int(msg.a), int(msg.b))
+                    s.busy = 1
+                    s.req.rdy.next = 0
+                else:
+                    s.req.rdy.next = 1
+                s.resp.val.next = 0
+
+
+# RTL FSM states.
+_IDLE = 0
+_CALC = 1
+_DONE = 2
+
+
+class GcdUnitRTL(Model):
+    """RTL GCD: subtract/swap FSM (one iteration per cycle)."""
+
+    def __init__(s):
+        s.req = InValRdyBundle(GcdReqMsg)
+        s.resp = OutValRdyBundle(NBITS)
+
+        s.state = Wire(2)
+        s.a_reg = Wire(NBITS)
+        s.b_reg = Wire(NBITS)
+
+        @s.tick_rtl
+        def seq_logic():
+            if s.reset:
+                s.state.next = _IDLE
+            elif s.state.uint() == _IDLE:
+                if s.req.val.uint() and s.req.rdy.uint():
+                    s.a_reg.next = s.req.msg.a.value
+                    s.b_reg.next = s.req.msg.b.value
+                    s.state.next = _CALC
+            elif s.state.uint() == _CALC:
+                a = s.a_reg.uint()
+                b = s.b_reg.uint()
+                if b == 0:
+                    s.state.next = _DONE
+                elif a < b:
+                    s.a_reg.next = b
+                    s.b_reg.next = a
+                else:
+                    s.a_reg.next = a - b
+            elif s.state.uint() == _DONE:
+                if s.resp.val.uint() and s.resp.rdy.uint():
+                    s.state.next = _IDLE
+
+        @s.combinational
+        def comb_logic():
+            state = s.state.uint()
+            if s.reset.uint():
+                state = -1
+            s.req.rdy.value = state == _IDLE
+            s.resp.val.value = state == _DONE
+            s.resp.msg.value = s.a_reg.value
+
+    def line_trace(s):
+        return (f"st={int(s.state)} a={int(s.a_reg)} "
+                f"b={int(s.b_reg)}")

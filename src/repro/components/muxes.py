@@ -1,0 +1,38 @@
+"""Combinational selection components."""
+
+from __future__ import annotations
+
+from ..core import InPort, Model, OutPort, bw
+
+
+class Mux(Model):
+    """N-way multiplexer, parameterizable by width and port count
+    (paper Figure 2)."""
+
+    def __init__(s, nbits, nports):
+        s.in_ = InPort[nports](nbits)
+        s.sel = InPort(bw(nports))
+        s.out = OutPort(nbits)
+
+        @s.combinational
+        def comb_logic():
+            s.out.value = s.in_[s.sel.uint()].value
+
+
+class Demux(Model):
+    """One-hot demultiplexer: routes the input to the selected output,
+    zeroes elsewhere."""
+
+    def __init__(s, nbits, nports):
+        s.in_ = InPort(nbits)
+        s.sel = InPort(bw(nports))
+        s.out = OutPort[nports](nbits)
+        s.nports = nports
+
+        @s.combinational
+        def comb_logic():
+            for i in range(s.nports):
+                if i == s.sel.uint():
+                    s.out[i].value = s.in_.value
+                else:
+                    s.out[i].value = 0

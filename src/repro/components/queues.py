@@ -1,0 +1,153 @@
+"""Latency-insensitive val/rdy queues at RTL, CL, and FL detail.
+
+Queues are the canonical latency-insensitive component: backpressure
+propagates through the ``rdy`` signals, so producers and consumers can
+be composed without global stall logic (paper Section II).  The RTL
+variants are Verilog-translatable; all variants expose identical
+``enq``/``deq`` interfaces so they can substitute for one another in
+mixed-level simulations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..core import (
+    InPort,
+    InValRdyBundle,
+    Model,
+    OutPort,
+    OutValRdyBundle,
+    Wire,
+    bw,
+)
+
+
+class NormalQueue(Model):
+    """RTL circular-buffer FIFO with registered output state.
+
+    A message enqueued in cycle N is visible on ``deq`` in cycle N+1.
+    """
+
+    def __init__(s, nentries, msg_type):
+        if nentries < 1:
+            raise ValueError("nentries must be >= 1")
+        s.enq = InValRdyBundle(msg_type)
+        s.deq = OutValRdyBundle(msg_type)
+        s.nentries = nentries
+
+        ptr_bits = bw(nentries)
+        s.entries = [Wire(s.enq.msg.nbits) for _ in range(nentries)]
+        s.enq_ptr = Wire(ptr_bits)
+        s.deq_ptr = Wire(ptr_bits)
+        s.count = Wire(bw(nentries + 1))
+
+        @s.tick_rtl
+        def seq_logic():
+            if s.reset:
+                s.enq_ptr.next = 0
+                s.deq_ptr.next = 0
+                s.count.next = 0
+            else:
+                do_enq = s.enq.val.uint() and s.enq.rdy.uint()
+                do_deq = s.deq.val.uint() and s.deq.rdy.uint()
+                if do_enq:
+                    s.entries[s.enq_ptr.uint()].next = s.enq.msg.value
+                    if s.enq_ptr.uint() == s.nentries - 1:
+                        s.enq_ptr.next = 0
+                    else:
+                        s.enq_ptr.next = s.enq_ptr + 1
+                if do_deq:
+                    if s.deq_ptr.uint() == s.nentries - 1:
+                        s.deq_ptr.next = 0
+                    else:
+                        s.deq_ptr.next = s.deq_ptr + 1
+                if do_enq and not do_deq:
+                    s.count.next = s.count + 1
+                elif do_deq and not do_enq:
+                    s.count.next = s.count - 1
+
+        @s.combinational
+        def comb_logic():
+            s.enq.rdy.value = s.count.uint() != s.nentries
+            s.deq.val.value = s.count.uint() != 0
+            s.deq.msg.value = s.entries[s.deq_ptr.uint()].value
+
+    def line_trace(s):
+        return f"({int(s.count)}/{s.nentries})"
+
+
+class BypassQueue(Model):
+    """RTL single-element bypass queue: an arriving message is visible
+    on ``deq`` in the *same* cycle when the queue is empty (the
+    elastic-buffer building block used by the mesh routers)."""
+
+    def __init__(s, msg_type):
+        s.enq = InValRdyBundle(msg_type)
+        s.deq = OutValRdyBundle(msg_type)
+
+        s.full = Wire(1)
+        s.entry = Wire(s.enq.msg.nbits)
+
+        @s.tick_rtl
+        def seq_logic():
+            if s.reset:
+                s.full.next = 0
+            else:
+                do_enq = s.enq.val.uint() and s.enq.rdy.uint()
+                do_deq = s.deq.val.uint() and s.deq.rdy.uint()
+                if do_enq and not do_deq:
+                    s.entry.next = s.enq.msg.value
+                    s.full.next = 1
+                elif do_deq and s.full.uint() and not do_enq:
+                    s.full.next = 0
+                elif do_enq and do_deq and not s.full.uint():
+                    s.full.next = 0
+                elif do_enq and do_deq and s.full.uint():
+                    s.entry.next = s.enq.msg.value
+                    s.full.next = 1
+
+        @s.combinational
+        def comb_logic():
+            s.enq.rdy.value = not s.full.uint()
+            if s.full.uint():
+                s.deq.val.value = 1
+                s.deq.msg.value = s.entry.value
+            else:
+                s.deq.val.value = s.enq.val.value
+                s.deq.msg.value = s.enq.msg.value
+
+    def line_trace(s):
+        return "F" if int(s.full) else "."
+
+
+class QueueCL(Model):
+    """Cycle-level FIFO: identical interface and timing envelope to
+    ``NormalQueue`` but implemented with a Python deque."""
+
+    def __init__(s, nentries, msg_type):
+        s.enq = InValRdyBundle(msg_type)
+        s.deq = OutValRdyBundle(msg_type)
+        s.nentries = nentries
+        s.buf = deque()
+
+        @s.tick_cl
+        def logic():
+            if s.reset:
+                s.buf.clear()
+            else:
+                if int(s.deq.val) and int(s.deq.rdy):
+                    s.buf.popleft()
+                if int(s.enq.val) and int(s.enq.rdy):
+                    s.buf.append(s.enq.msg.value.to_bits().uint()
+                                 if hasattr(s.enq.msg.value, "to_bits")
+                                 else int(s.enq.msg.value))
+            s.enq.rdy.next = len(s.buf) < s.nentries
+            if s.buf:
+                s.deq.val.next = 1
+                s.deq.msg.next = s.buf[0]
+            else:
+                s.deq.val.next = 0
+
+    def line_trace(s):
+        return f"({len(s.buf)}/{s.nentries})"

@@ -1,0 +1,84 @@
+"""Basic sequential components: registers with enable/reset variants.
+
+These are the leaf RTL building blocks used across the case studies.
+All of them are Verilog-translatable.
+"""
+
+from __future__ import annotations
+
+from ..core import InPort, Model, OutPort
+
+
+class Register(Model):
+    """Plain register: ``out <= in_`` every cycle (paper Figure 2)."""
+
+    def __init__(s, nbits):
+        s.in_ = InPort(nbits)
+        s.out = OutPort(nbits)
+
+        @s.tick_rtl
+        def seq_logic():
+            s.out.next = s.in_.value
+
+
+class RegEn(Model):
+    """Register with write enable."""
+
+    def __init__(s, nbits):
+        s.in_ = InPort(nbits)
+        s.en = InPort(1)
+        s.out = OutPort(nbits)
+
+        @s.tick_rtl
+        def seq_logic():
+            if s.en:
+                s.out.next = s.in_.value
+
+
+class RegRst(Model):
+    """Register with synchronous reset to a constant."""
+
+    def __init__(s, nbits, reset_value=0):
+        s.in_ = InPort(nbits)
+        s.out = OutPort(nbits)
+        s.reset_value = reset_value
+
+        @s.tick_rtl
+        def seq_logic():
+            if s.reset:
+                s.out.next = s.reset_value
+            else:
+                s.out.next = s.in_.value
+
+
+class RegEnRst(Model):
+    """Register with write enable and synchronous reset."""
+
+    def __init__(s, nbits, reset_value=0):
+        s.in_ = InPort(nbits)
+        s.en = InPort(1)
+        s.out = OutPort(nbits)
+        s.reset_value = reset_value
+
+        @s.tick_rtl
+        def seq_logic():
+            if s.reset:
+                s.out.next = s.reset_value
+            elif s.en:
+                s.out.next = s.in_.value
+
+
+class Counter(Model):
+    """Up counter with enable and clear."""
+
+    def __init__(s, nbits):
+        s.en = InPort(1)
+        s.clear = InPort(1)
+        s.count = OutPort(nbits)
+
+        @s.tick_rtl
+        def seq_logic():
+            if s.reset or s.clear:
+                s.count.next = 0
+            elif s.en:
+                s.count.next = s.count + 1

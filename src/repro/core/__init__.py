@@ -1,0 +1,41 @@
+"""Core framework: the concurrent-structural DSEL and its tools.
+
+This package is the reproduction of the paper's primary contribution
+(Sections III and IV): the modeling language (``Model``, signals,
+``Bits``, ``BitStruct``, port bundles), the elaborator, the simulator,
+the Verilog translator, and the SimJIT specializers.
+"""
+
+from .bits import Bits, bw, clog2, concat, sext, zext
+from .bitstruct import BitStruct, Field, mk_bitstruct
+from .signals import InPort, OutPort, Signal, Wire
+from .model import Model
+from .elaboration import ElaborationError, elaborate
+from .simulation import SimulationError, SimulationTool
+from .portbundle import (
+    ChildReqRespBundle,
+    InValRdyBundle,
+    OutValRdyBundle,
+    ParentReqRespBundle,
+    PortBundle,
+    ReqRespMsgTypes,
+)
+from .adapters import (
+    ChildReqRespQueueAdapter,
+    ListMemPortAdapter,
+    ParentReqRespQueueAdapter,
+    Queue,
+)
+
+__all__ = [
+    "Bits", "bw", "clog2", "concat", "sext", "zext",
+    "BitStruct", "Field", "mk_bitstruct",
+    "InPort", "OutPort", "Signal", "Wire",
+    "Model",
+    "ElaborationError", "elaborate",
+    "SimulationError", "SimulationTool",
+    "PortBundle", "InValRdyBundle", "OutValRdyBundle",
+    "ChildReqRespBundle", "ParentReqRespBundle", "ReqRespMsgTypes",
+    "ChildReqRespQueueAdapter", "ParentReqRespQueueAdapter",
+    "ListMemPortAdapter", "Queue",
+]

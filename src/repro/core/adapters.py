@@ -1,0 +1,368 @@
+"""Adapters: programmer-friendly proxies over latency-insensitive ports.
+
+The paper's FL/CL accelerator examples (Figures 7-8) never touch raw
+val/rdy signals; they use adapters that hide the handshake protocol:
+
+- ``ChildReqRespQueueAdapter`` — queue-based view of a
+  ``ChildReqRespBundle`` (requests pop out of ``req_q``, responses push
+  into ``resp_q``); the model calls ``xtick()`` once per cycle.
+- ``ParentReqRespQueueAdapter`` — mirror image for a parent requester
+  (push into ``req_q``, responses pop out of ``resp_q``).
+- ``ListMemPortAdapter`` — a list-like proxy whose element accesses
+  become memory read transactions over a ``ParentReqRespBundle``.  The
+  paper implements this with greenlets; greenlets are unavailable here,
+  so we substitute lock-step worker threads (one runs at a time, strict
+  handoff), which preserves the observable behaviour: an FL block can
+  pass the proxy straight into ``numpy.dot`` and each element access
+  transparently expands into a multi-cycle memory transaction.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+from .bits import Bits
+
+
+class Queue:
+    """Bounded FIFO used by the queue adapters."""
+
+    def __init__(self, maxsize=2):
+        self.maxsize = maxsize
+        self._items = deque()
+
+    def empty(self):
+        return not self._items
+
+    def full(self):
+        return len(self._items) >= self.maxsize
+
+    def enq(self, item):
+        if self.full():
+            raise IndexError("enqueue on full queue")
+        self._items.append(item)
+
+    def deq(self):
+        if self.empty():
+            raise IndexError("dequeue on empty queue")
+        return self._items.popleft()
+
+    def front(self):
+        if self.empty():
+            raise IndexError("front of empty queue")
+        return self._items[0]
+
+    def __len__(self):
+        return len(self._items)
+
+
+class ChildReqRespQueueAdapter:
+    """Queue-based adapter for a child device's request/response
+    interface (paper Figures 7-8).
+
+    Usage inside a tick block::
+
+        s.cpu.xtick()
+        if not s.cpu.req_q.empty() and not s.cpu.resp_q.full():
+            req = s.cpu.get_req()
+            ...
+            s.cpu.push_resp(result)
+    """
+
+    def __init__(self, bundle, req_qsize=2, resp_qsize=2):
+        self.bundle = bundle
+        self.req_q = Queue(req_qsize)
+        self.resp_q = Queue(resp_qsize)
+        self._skip = False
+
+    def xtick(self):
+        """Service the ports; call once at the top of the tick block."""
+        if self._skip:
+            # Already serviced by a BlockingTickRunner this cycle.
+            self._skip = False
+            return
+        bundle = self.bundle
+        # Response accepted by the other side on the last edge?
+        if int(bundle.resp_val) and int(bundle.resp_rdy):
+            self.resp_q.deq()
+        # Incoming request latched on the last edge?
+        if int(bundle.req_val) and int(bundle.req_rdy):
+            self.req_q.enq(bundle.req_msg.value)
+        # Drive next-cycle outputs.
+        bundle.req_rdy.next = not self.req_q.full()
+        if not self.resp_q.empty():
+            bundle.resp_val.next = 1
+            bundle.resp_msg.next = self.resp_q.front()
+        else:
+            bundle.resp_val.next = 0
+
+    def get_req(self):
+        return self.req_q.deq()
+
+    def push_resp(self, msg):
+        self.resp_q.enq(msg)
+
+
+class ParentReqRespQueueAdapter:
+    """Queue-based adapter for a parent requester's interface (the
+    memory port in paper Figure 8)."""
+
+    def __init__(self, bundle, req_qsize=2, resp_qsize=2):
+        self.bundle = bundle
+        self.req_q = Queue(req_qsize)
+        self.resp_q = Queue(resp_qsize)
+        self._skip = False
+
+    def xtick(self):
+        if self._skip:
+            self._skip = False
+            return
+        bundle = self.bundle
+        if int(bundle.req_val) and int(bundle.req_rdy):
+            self.req_q.deq()
+        if int(bundle.resp_val) and int(bundle.resp_rdy):
+            self.resp_q.enq(bundle.resp_msg.value)
+        bundle.resp_rdy.next = not self.resp_q.full()
+        if not self.req_q.empty():
+            bundle.req_val.next = 1
+            bundle.req_msg.next = self.req_q.front()
+        else:
+            bundle.req_val.next = 0
+
+    def push_req(self, msg):
+        self.req_q.enq(msg)
+
+    def get_resp(self):
+        return self.resp_q.deq()
+
+
+# -- blocking (coroutine-style) adapters ------------------------------------------
+
+
+class _Handoff:
+    """Strict lock-step handoff between the simulator thread and one
+    worker thread: exactly one side runs at a time."""
+
+    def __init__(self):
+        self.to_worker = threading.Event()
+        self.to_sim = threading.Event()
+
+    def run_worker(self):
+        """Called from the sim thread: let the worker run until it
+        yields back."""
+        self.to_worker.set()
+        self.to_sim.wait()
+        self.to_sim.clear()
+
+    def yield_to_sim(self):
+        """Called from the worker thread: pause until resumed."""
+        self.to_sim.set()
+        self.to_worker.wait()
+        self.to_worker.clear()
+
+
+class BlockingTickRunner:
+    """Runs an FL tick block that may block inside adapters.
+
+    Each simulated cycle: service every adapter's port logic, then give
+    the worker thread a chance to run — either resuming a blocked
+    invocation whose data arrived, or starting a fresh invocation of
+    the block.  The worker only ever runs while the sim thread waits,
+    so execution stays deterministic.
+    """
+
+    def __init__(self, func, adapters):
+        self.func = func
+        self.adapters = list(adapters)
+        self.blocking = [
+            a for a in self.adapters if isinstance(a, ListMemPortAdapter)
+        ]
+        self.handoff = _Handoff()
+        self.state = "idle"        # idle | blocked | running
+        self._thread = None
+        self._worker_exc = None
+        for adapter in self.blocking:
+            adapter._runner = self
+
+    def _worker_loop(self):
+        while True:
+            self.handoff.yield_to_sim()     # wait for first resume
+            try:
+                self.func()
+            except BaseException as exc:    # noqa: BLE001
+                # Hand the exception to the sim thread; a silently
+                # dead worker would deadlock the next run_worker().
+                self._worker_exc = exc
+            finally:
+                self.state = "idle"
+
+    def __call__(self):
+        for adapter in self.adapters:
+            if isinstance(adapter, ListMemPortAdapter):
+                adapter.xtick()
+            else:
+                # Queue adapters must be serviced even while the FL
+                # block is paused mid-invocation; the user's own
+                # xtick() call is then skipped once.
+                adapter._skip = False
+                adapter.xtick()
+                adapter._skip = True
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._worker_loop, daemon=True
+            )
+            self._thread.start()
+            # Let the worker reach its first yield point.
+            self.handoff.to_sim.wait()
+            self.handoff.to_sim.clear()
+        if self.state == "blocked":
+            if all(a.ready() for a in self.blocking if a.is_waiting()):
+                self.state = "running"
+                self.handoff.run_worker()
+        elif self.state == "idle":
+            self.state = "running"
+            self.handoff.run_worker()
+        if self._worker_exc is not None:
+            exc = self._worker_exc
+            self._worker_exc = None
+            raise exc
+
+    def block(self):
+        """Called from the worker when an adapter must wait for data."""
+        self.state = "blocked"
+        self.handoff.yield_to_sim()
+
+
+class ListMemPortAdapter:
+    """List-like proxy that turns element accesses into memory
+    transactions over a ``ParentReqRespBundle`` (paper Figure 7).
+
+    ``proxy[i]`` issues a read of ``base + i*4`` and blocks the FL block
+    until the response returns; ``proxy[i] = v`` issues a write.  With
+    ``set_size``/``set_base`` configured, the proxy satisfies the
+    sequence protocol, so ``numpy.dot(proxy0, proxy1)`` works unchanged.
+    """
+
+    WORD_BYTES = 4
+
+    def __init__(self, bundle):
+        self.bundle = bundle
+        self._base = 0
+        self._size = 0
+        self._runner = None           # wired up by BlockingTickRunner
+        self._pending = None          # ('rd'|'wr', addr, data)
+        self._sent = False
+        self._result = None
+        self._have_result = False
+
+    # -- configuration (paper Figure 7) ----------------------------------
+
+    def set_base(self, base):
+        self._base = int(base)
+
+    def set_size(self, size):
+        self._size = int(size)
+
+    def __len__(self):
+        return self._size
+
+    # -- sequence protocol -------------------------------------------------
+
+    def __getitem__(self, idx):
+        if isinstance(idx, slice):
+            return [self[i] for i in range(*idx.indices(self._size))]
+        addr = self._base + int(idx) * self.WORD_BYTES
+        return self._transact("rd", addr, 0)
+
+    def __setitem__(self, idx, value):
+        addr = self._base + int(idx) * self.WORD_BYTES
+        self._transact("wr", addr, int(value))
+
+    def __iter__(self):
+        for i in range(self._size):
+            yield self[i]
+
+    # -- transaction engine --------------------------------------------------
+
+    def _transact(self, kind, addr, data):
+        runner = self._runner
+        if runner is None or runner._thread is None \
+                or threading.current_thread() is not runner._thread:
+            # Blocking from any thread but the runner's worker (e.g.
+            # straight from a test bench) would deadlock the handoff.
+            raise RuntimeError(
+                "ListMemPortAdapter used outside a blocking FL tick block"
+            )
+        self._pending = (kind, addr, data)
+        self._sent = False
+        self._have_result = False
+        self._runner.block()          # sim ticks until response arrives
+        result = self._result
+        self._pending = None
+        return result
+
+    def is_waiting(self):
+        return self._pending is not None
+
+    def ready(self):
+        return self._have_result
+
+    def xtick(self):
+        """Drive the memory port; called by the runner each cycle.
+
+        Only touches the ports while it owns a transaction, so several
+        adapters can share one memory bundle (the FL block serializes
+        accesses, so at most one adapter is active at a time — paper
+        Figure 7 hangs two proxies off one ``mem_ifc``).
+        """
+        if self._pending is None:
+            return
+        bundle = self.bundle
+        if self._sent:
+            if int(bundle.resp_val) and int(bundle.resp_rdy):
+                self._result = int(bundle.resp_msg.value.data)
+                self._have_result = True
+                bundle.resp_rdy.next = 0
+        elif int(bundle.req_val) and int(bundle.req_rdy):
+            # Request accepted on the last edge.
+            self._sent = True
+            bundle.req_val.next = 0
+            bundle.resp_rdy.next = 1
+        else:
+            kind, addr, data = self._pending
+            req = bundle.ifc_types.req()
+            req.type_ = 0 if kind == "rd" else 1
+            req.addr = addr
+            req.data = data
+            bundle.req_msg.next = req
+            bundle.req_val.next = 1
+
+
+def wrap_fl_ticks(model):
+    """Replace the FL tick blocks of ``model`` (and submodels) that use
+    blocking adapters with ``BlockingTickRunner`` wrappers.
+
+    Returns a mapping from original tick function to wrapper; the
+    ``SimulationTool`` applies it when constructing the tick schedule.
+    """
+    wrappers = {}
+    for sub in getattr(model, "_all_models", [model]):
+        blocking = [
+            attr for attr in sub.__dict__.values()
+            if isinstance(attr, ListMemPortAdapter)
+        ]
+        if not blocking:
+            continue
+        queue_adapters = [
+            attr for attr in sub.__dict__.values()
+            if isinstance(
+                attr, (ChildReqRespQueueAdapter, ParentReqRespQueueAdapter)
+            )
+        ]
+        for blk in sub.get_tick_blocks():
+            if blk.level == "fl":
+                wrappers[blk.func] = BlockingTickRunner(
+                    blk.func, blocking + queue_adapters
+                )
+    return wrappers

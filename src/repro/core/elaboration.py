@@ -1,0 +1,382 @@
+"""Elaboration: turn a model description into a simulatable instance.
+
+Elaboration (paper Figure 3) walks the hierarchy built by the user's
+constructors and produces an in-memory design representation that the
+tools (simulator, translator, SimJIT) consume:
+
+1. every signal and submodel gets a hierarchical name and parent link;
+2. ``clk``/``reset`` propagate implicitly from parent to child;
+3. full-signal connections are merged into *nets* (union-find), so all
+   signals on a net share one storage slot;
+4. slice connections and constant ties become directional *connector*
+   specs (the driver inferred from port kinds and hierarchy);
+5. each ``@combinational`` block gets a sensitivity list inferred by
+   static AST analysis of the signals it reads.
+
+The result is stored on the top model: ``_all_models``, ``_all_signals``,
+``_all_nets``, ``_connectors``, ``_const_ties``.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+
+from .model import Model, _CombBlock
+from .portbundle import PortBundle
+from .signals import InPort, OutPort, Signal, Wire, _SignalSlice
+
+
+class ElaborationError(Exception):
+    """Raised for malformed structure (width mismatches, bad drivers)."""
+
+
+def elaborate(top):
+    """Elaborate ``top`` as the root of a design hierarchy."""
+    if top._elaborated:
+        return top
+    if top.name is None:
+        top.name = "top"
+
+    _name_model(top)
+
+    all_models = []
+    _collect_models(top, all_models)
+
+    # Implicit clk/reset propagation from each parent to its children.
+    for model in all_models:
+        for child in model._submodels:
+            model._connections.append((model.clk, child.clk))
+            model._connections.append((model.reset, child.reset))
+
+    connectors = []
+    const_ties = []
+    for model in all_models:
+        for left, right in model._connections:
+            _process_connection(model, left, right, connectors, const_ties)
+
+    all_signals = []
+    for model in all_models:
+        all_signals.extend(_model_signals(model))
+
+    # Collapse union-find chains: each signal points directly at its root
+    # net so simulation-time reads skip the find().
+    nets = {}
+    for sig in all_signals:
+        root = sig._net.find()
+        sig._net = root
+        nets[id(root)] = root
+    all_nets = list(nets.values())
+
+    for model in all_models:
+        for blk in model._comb_blocks:
+            if not blk.signals:
+                blk.signals = _infer_sensitivity(blk)
+
+    top._all_models = all_models
+    top._all_signals = all_signals
+    top._all_nets = all_nets
+    top._connectors = connectors
+    top._const_ties = const_ties
+    for model in all_models:
+        model._elaborated = True
+    return top
+
+
+# -- naming -------------------------------------------------------------------
+
+
+def _name_model(model):
+    """Assign names/parents to this model's signals, bundles, and
+    submodels, recursing into children."""
+    for attr_name, attr in list(model.__dict__.items()):
+        if attr_name.startswith("_") or attr_name in ("name", "parent"):
+            continue
+        _name_attr(model, attr_name, attr)
+    for child in model._submodels:
+        _name_model(child)
+
+
+def _name_attr(model, name, attr, depth=0):
+    if isinstance(attr, Signal):
+        attr.name = name
+        attr.parent = model
+    elif isinstance(attr, PortBundle):
+        attr.name = name
+        attr.parent = model
+        for sig_name, sig in attr.get_named_signals():
+            sig.name = f"{name}.{sig_name}"
+            sig.parent = model
+    elif isinstance(attr, Model):
+        if attr.parent is None:
+            attr.name = name
+            attr.parent = model
+            model._submodels.append(attr)
+    elif isinstance(attr, list) and depth < 4:
+        for i, item in enumerate(attr):
+            _name_attr(model, f"{name}[{i}]", item, depth + 1)
+
+
+def _collect_models(model, out):
+    out.append(model)
+    for child in model._submodels:
+        _collect_models(child, out)
+
+
+def _model_signals(model):
+    signals = []
+    for attr in model.__dict__.values():
+        signals.extend(_attr_signals(attr))
+    return signals
+
+
+def _attr_signals(attr, depth=0):
+    if isinstance(attr, Signal):
+        return [attr]
+    if isinstance(attr, PortBundle):
+        return attr.get_signals()
+    if isinstance(attr, list) and depth < 4:
+        found = []
+        for item in attr:
+            found.extend(_attr_signals(item, depth + 1))
+        return found
+    return []
+
+
+# -- connections ---------------------------------------------------------------
+
+
+def _process_connection(model, left, right, connectors, const_ties):
+    # Constant tie: applied once at simulator init.
+    if isinstance(left, int) or isinstance(right, int):
+        sig, const = (right, left) if isinstance(left, int) else (left, right)
+        target = sig.signal if isinstance(sig, _SignalSlice) else sig
+        if const >> _width_of(sig):
+            raise ElaborationError(
+                f"constant {const} too wide for {_describe(sig)}"
+            )
+        const_ties.append((sig, const))
+        return
+
+    if _width_of(left) != _width_of(right):
+        raise ElaborationError(
+            f"connected widths differ: {_describe(left)} is "
+            f"{_width_of(left)}b but {_describe(right)} is {_width_of(right)}b"
+        )
+
+    if isinstance(left, Signal) and isinstance(right, Signal):
+        # Full connection: merge nets (bidirectional, shared storage).
+        root_l = left._net.find()
+        root_r = right._net.find()
+        if root_l is not root_r:
+            root_r.parent = root_l
+        return
+
+    # Slice connection: directional connector, driver inferred.
+    src, dst = _infer_driver(model, left, right)
+    connectors.append((src, dst))
+
+
+def _width_of(end):
+    return end.nbits
+
+
+def _describe(end):
+    if isinstance(end, _SignalSlice):
+        return f"{_describe(end.signal)}[{end.lo}:{end.hi}]"
+    return f"{type(end).__name__} {end.name or '?'}"
+
+
+def _drives(model, end):
+    """Does this endpoint act as a driver from ``model``'s perspective?
+
+    Standard structural semantics: a child's OutPort and the enclosing
+    model's own InPort drive; a child's InPort and the model's own
+    OutPort are driven.  Wires are bidirectional (None = unknown).
+    """
+    sig = end.signal if isinstance(end, _SignalSlice) else end
+    inside = sig.parent is model
+    if isinstance(sig, Wire):
+        return None
+    if isinstance(sig, OutPort):
+        return not inside
+    if isinstance(sig, InPort):
+        return inside
+    return None
+
+
+def _infer_driver(model, left, right):
+    l_drives = _drives(model, left)
+    r_drives = _drives(model, right)
+    if l_drives and r_drives:
+        raise ElaborationError(
+            f"both ends drive: {_describe(left)} <-> {_describe(right)}"
+        )
+    if l_drives or (r_drives is False):
+        return left, right
+    if r_drives or (l_drives is False):
+        return right, left
+    # Two wires sliced together: pick left as driver (documented choice).
+    return left, right
+
+
+# -- sensitivity inference ----------------------------------------------------------
+
+
+def _infer_sensitivity(blk):
+    """Infer the signals a combinational block reads.
+
+    Parses the block's source and collects every attribute/subscript
+    chain rooted at the model reference that is read (Load context).
+    Dynamic indices widen to every element of the indexed list.  Falls
+    back to all input ports and wires of the model when source is not
+    available.
+    """
+    model = blk.model
+    try:
+        src = textwrap.dedent(inspect.getsource(blk.func))
+        tree = ast.parse(src)
+    except (OSError, TypeError, SyntaxError):
+        return _fallback_sensitivity(model)
+
+    func_def = tree.body[0]
+    if not isinstance(func_def, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return _fallback_sensitivity(model)
+
+    root_names = _model_ref_names(blk.func, model)
+    if not root_names:
+        return _fallback_sensitivity(model)
+
+    # Signals assigned by this block must not be in its own sensitivity
+    # list (a comb block writing a net mid-execution would re-trigger
+    # itself forever on the intermediate value).
+    write_paths = set()
+    for node in ast.walk(func_def):
+        targets = []
+        if isinstance(node, ast.Assign):
+            targets = node.targets
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        for target in targets:
+            path = _extract_path(target, root_names, any_ctx=True)
+            if path is not None:
+                write_paths.add(path)
+    written = set()
+    for path in write_paths:
+        written.update(id(sig) for sig in _resolve_path(model, path))
+
+    paths = set()
+    for node in ast.walk(func_def):
+        path = _extract_path(node, root_names)
+        if path is not None:
+            paths.add(path)
+
+    signals = []
+    seen = set()
+    for path in paths:
+        for sig in _resolve_path(model, path):
+            if id(sig) not in seen and id(sig) not in written:
+                seen.add(id(sig))
+                signals.append(sig)
+    if not signals:
+        return _fallback_sensitivity(model)
+    return signals
+
+
+def _model_ref_names(func, model):
+    """Names in the function's closure/globals bound to the model."""
+    names = set()
+    code = func.__code__
+    if func.__closure__:
+        for var, cell in zip(code.co_freevars, func.__closure__):
+            try:
+                if cell.cell_contents is model:
+                    names.add(var)
+            except ValueError:
+                pass
+    for var, val in func.__globals__.items():
+        if val is model:
+            names.add(var)
+    return names
+
+
+_VALUE_ATTRS = {"value", "next", "uint", "int"}
+_WILDCARD = "*"
+
+
+def _extract_path(node, root_names, any_ctx=False):
+    """If ``node`` is a read of ``<root>.a[i].b...``, return the access
+    path as a tuple; otherwise None.  Only Load contexts count unless
+    ``any_ctx`` is set (used for assignment targets)."""
+    if not isinstance(node, (ast.Attribute, ast.Subscript)):
+        return None
+    if not any_ctx and not isinstance(getattr(node, "ctx", None), ast.Load):
+        return None
+    parts = []
+    cur = node
+    while True:
+        if isinstance(cur, ast.Attribute):
+            parts.append(("attr", cur.attr))
+            cur = cur.value
+        elif isinstance(cur, ast.Subscript):
+            idx = cur.slice
+            if isinstance(idx, ast.Constant) and isinstance(idx.value, int):
+                parts.append(("index", idx.value))
+            else:
+                parts.append(("index", _WILDCARD))
+            cur = cur.value
+        elif isinstance(cur, ast.Name):
+            if cur.id in root_names:
+                parts.reverse()
+                # Strip trailing .value/.next/.uint accessor.
+                while parts and parts[-1][0] == "attr" \
+                        and parts[-1][1] in _VALUE_ATTRS:
+                    parts.pop()
+                return tuple(parts) if parts else None
+            return None
+        else:
+            return None
+
+
+def _resolve_path(model, path):
+    """Resolve an access path against the live model, returning the
+    signals it touches."""
+    objs = [model]
+    for kind, key in path:
+        next_objs = []
+        for obj in objs:
+            if isinstance(obj, (Signal, _SignalSlice)):
+                # Deeper access on a signal (slices, struct fields) still
+                # reads the same underlying signal.
+                next_objs.append(obj)
+                continue
+            if kind == "attr":
+                try:
+                    got = getattr(obj, key)
+                except AttributeError:
+                    continue
+                next_objs.append(got)
+            else:
+                if isinstance(obj, list):
+                    if key == _WILDCARD:
+                        next_objs.extend(obj)
+                    elif isinstance(key, int) and key < len(obj):
+                        next_objs.append(obj[key])
+        objs = next_objs
+
+    signals = []
+    for obj in objs:
+        if isinstance(obj, _SignalSlice):
+            signals.append(obj.signal)
+        elif isinstance(obj, Signal):
+            signals.append(obj)
+        elif isinstance(obj, PortBundle):
+            signals.extend(obj.get_signals())
+        elif isinstance(obj, list):
+            signals.extend(s for s in obj if isinstance(s, Signal))
+    return signals
+
+
+def _fallback_sensitivity(model):
+    return model.get_inports() + model.get_wires()

@@ -1,0 +1,254 @@
+"""The ``Model`` base class: concurrent-structural model description.
+
+A PyMTL-style model (paper Figure 1) is a Python class inheriting from
+``Model`` whose constructor declares ports, wires, submodels, structural
+connectivity, and concurrent logic blocks:
+
+    class Register(Model):
+        def __init__(s, nbits):
+            s.in_ = InPort(nbits)
+            s.out = OutPort(nbits)
+
+            @s.tick_rtl
+            def seq_logic():
+                s.out.next = s.in_.value
+
+``Model.__new__`` initializes the bookkeeping state so user classes do
+not need to call ``super().__init__()`` — constructors read exactly
+like the paper's examples.
+
+Concurrent logic is declared with decorators:
+
+- ``@s.combinational`` — combinational logic; re-executed whenever a
+  signal in its sensitivity list changes.
+- ``@s.tick_rtl`` / ``@s.tick_cl`` / ``@s.tick_fl`` — sequential logic
+  executed once per simulated cycle (RTL / cycle-level / functional
+  level respectively; the level tag drives translatability checks and
+  SimJIT eligibility).
+- ``@s.posedge_clk`` — alias of ``@s.tick_rtl``.
+
+Structural connectivity is declared with ``s.connect(a, b)`` (signals,
+signal slices, or integer constants), ``s.connect_dict`` for bulk
+connections, and ``s.connect_auto`` for name-based autoconnection of
+two submodels (paper Figure 9).
+"""
+
+from __future__ import annotations
+
+from .signals import InPort, OutPort, Signal, Wire, _SignalSlice
+
+
+class _TickBlock:
+    """A sequential logic block plus its abstraction-level tag."""
+
+    __slots__ = ("func", "level", "model")
+
+    def __init__(self, func, level, model):
+        self.func = func
+        self.level = level        # 'fl' | 'cl' | 'rtl'
+        self.model = model
+
+    @property
+    def name(self):
+        return f"{self.model.full_name()}.{self.func.__name__}"
+
+
+class _CombBlock:
+    """A combinational logic block; sensitivity resolved at elaboration."""
+
+    __slots__ = ("func", "model", "signals")
+
+    def __init__(self, func, model):
+        self.func = func
+        self.model = model
+        self.signals = []         # sensitivity list, filled by elaborator
+
+    @property
+    def name(self):
+        return f"{self.model.full_name()}.{self.func.__name__}"
+
+
+class Model:
+    """Base class for all hardware models."""
+
+    def __new__(cls, *args, **kwargs):
+        self = super().__new__(cls)
+        # Bookkeeping initialized here so user constructors need no
+        # super().__init__() call (matching the paper's examples).
+        self._connections = []
+        self._tick_blocks = []
+        self._comb_blocks = []
+        self._submodels = []
+        self._elaborated = False
+        self.name = None
+        self.parent = None
+        # Implicit signals every model has (used by RTL reset logic and
+        # required for Verilog translation).
+        self.clk = InPort(1)
+        self.reset = InPort(1)
+        return self
+
+    # -- behavioral block decorators --------------------------------------
+
+    def combinational(self, func):
+        """Register ``func`` as combinational logic."""
+        self._comb_blocks.append(_CombBlock(func, self))
+        return func
+
+    def tick_fl(self, func):
+        """Register ``func`` as functional-level sequential logic."""
+        self._tick_blocks.append(_TickBlock(func, "fl", self))
+        return func
+
+    def tick_cl(self, func):
+        """Register ``func`` as cycle-level sequential logic."""
+        self._tick_blocks.append(_TickBlock(func, "cl", self))
+        return func
+
+    def tick_rtl(self, func):
+        """Register ``func`` as register-transfer-level sequential logic."""
+        self._tick_blocks.append(_TickBlock(func, "rtl", self))
+        return func
+
+    # Verilog-flavored alias
+    posedge_clk = tick_rtl
+
+    # -- structural connectivity --------------------------------------------
+
+    def connect(self, left, right):
+        """Structurally connect two signals (or a signal and a constant).
+
+        Full-signal connections form a net (bidirectional, one shared
+        storage).  Slice connections and constants become directional
+        connector logic, with the driver inferred from port kinds.
+        """
+        from .portbundle import PortBundle
+        if isinstance(left, PortBundle) and isinstance(right, PortBundle):
+            for sig_a, sig_b in left.connectable(right):
+                self._connections.append((sig_a, sig_b))
+            return
+        valid = (Signal, _SignalSlice, int)
+        if not isinstance(left, valid) or not isinstance(right, valid):
+            raise TypeError(
+                f"connect() arguments must be signals, slices, or ints; "
+                f"got {type(left).__name__} and {type(right).__name__}"
+            )
+        if isinstance(left, int) and isinstance(right, int):
+            raise TypeError("cannot connect two constants")
+        self._connections.append((left, right))
+
+    def connect_dict(self, mapping):
+        """Connect pairs given as a dict (paper Figure 9)."""
+        for left, right in mapping.items():
+            self.connect(left, right)
+
+    def connect_auto(self, model_a, model_b):
+        """Connect same-named ports of two submodels, pairing an
+        ``OutPort`` on one side with the same-named ``InPort`` or
+        ``Wire`` on the other (paper Figure 9's dpath/ctrl hookup).
+
+        Ports with no same-named counterpart are left unconnected.
+        """
+        ports_a = _port_dict(model_a)
+        ports_b = _port_dict(model_b)
+        for name in sorted(set(ports_a) & set(ports_b)):
+            a, b = ports_a[name], ports_b[name]
+            if isinstance(a, OutPort) and isinstance(b, InPort):
+                self.connect(a, b)
+            elif isinstance(a, InPort) and isinstance(b, OutPort):
+                self.connect(b, a)
+
+    # -- elaboration -----------------------------------------------------------
+
+    def elaborate(self):
+        """Elaborate this model as the top of a design hierarchy.
+
+        Names every signal and submodel, resolves connections into
+        nets, and infers combinational sensitivity lists.  Returns
+        ``self`` for chaining.
+        """
+        from .elaboration import elaborate
+        elaborate(self)
+        return self
+
+    def is_elaborated(self):
+        return self._elaborated
+
+    # -- introspection -----------------------------------------------------------
+
+    def full_name(self):
+        """Hierarchical dotted name (``top.child.grandchild``)."""
+        if self.parent is None:
+            return self.name or type(self).__name__.lower()
+        return f"{self.parent.full_name()}.{self.name}"
+
+    def get_ports(self):
+        """All InPort/OutPort signals declared on this model."""
+        ports = []
+        for attr in self.__dict__.values():
+            ports.extend(_collect(attr, (InPort, OutPort)))
+        return ports
+
+    def get_inports(self):
+        return [p for p in self.get_ports() if isinstance(p, InPort)]
+
+    def get_outports(self):
+        return [p for p in self.get_ports() if isinstance(p, OutPort)]
+
+    def get_wires(self):
+        wires = []
+        for attr in self.__dict__.values():
+            wires.extend(_collect(attr, (Wire,)))
+        return wires
+
+    def get_submodels(self):
+        return list(self._submodels)
+
+    def get_tick_blocks(self):
+        return list(self._tick_blocks)
+
+    def get_comb_blocks(self):
+        return list(self._comb_blocks)
+
+    def level(self):
+        """Highest-detail abstraction level of this model's own blocks:
+        'rtl' > 'cl' > 'fl'.  Structural models report 'struct'."""
+        levels = {blk.level for blk in self._tick_blocks}
+        if self._comb_blocks:
+            levels.add("rtl")
+        for order in ("rtl", "cl", "fl"):
+            if order in levels:
+                return order
+        return "struct"
+
+    def line_trace(self):
+        """One-line textual state trace; models override for debugging."""
+        return ""
+
+    def __repr__(self):
+        return f"<{type(self).__name__} {self.full_name()}>"
+
+
+def _collect(attr, kinds, _depth=0):
+    """Collect signals of the given kinds from an attribute value,
+    descending into (possibly nested) lists."""
+    if isinstance(attr, kinds):
+        return [attr]
+    if isinstance(attr, list) and _depth < 4:
+        found = []
+        for item in attr:
+            found.extend(_collect(item, kinds, _depth + 1))
+        return found
+    from .portbundle import PortBundle
+    if isinstance(attr, PortBundle):
+        return [s for s in attr.get_signals() if isinstance(s, kinds)]
+    return []
+
+
+def _port_dict(model):
+    """Map of local port name -> port for autoconnection."""
+    ports = {}
+    for name, attr in model.__dict__.items():
+        if isinstance(attr, (InPort, OutPort)) and name not in ("clk", "reset"):
+            ports[name] = attr
+    return ports

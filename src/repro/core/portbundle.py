@@ -1,0 +1,160 @@
+"""Port bundles: named groups of signals forming an interface.
+
+Latency-insensitive val/rdy interfaces (paper Section II, "Latency-
+Insensitive Interfaces") appear at nearly every module boundary in the
+case studies.  Bundles group the ``msg``/``val``/``rdy`` signals so a
+whole interface connects with one ``s.connect`` call, and so FL/CL/RTL
+implementations of a component expose byte-identical interfaces.
+
+- ``InValRdyBundle`` / ``OutValRdyBundle``: one val/rdy channel.
+- ``ChildReqRespBundle`` / ``ParentReqRespBundle``: a request channel
+  plus a response channel, as seen from the child device (accelerator)
+  or the parent requester (paper Figures 7-9).
+
+``ReqRespMsgTypes`` carries the request/response message types that
+parameterize the req/resp bundles.
+"""
+
+from __future__ import annotations
+
+from .signals import InPort, OutPort, Signal
+
+
+class _BundleMeta(type):
+    """Enables the ``InValRdyBundle[n](msg)`` list shorthand (paper
+    Figure 10)."""
+
+    def __getitem__(cls, count):
+        def make(*args, **kwargs):
+            return [cls(*args, **kwargs) for _ in range(count)]
+        return make
+
+
+class PortBundle(metaclass=_BundleMeta):
+    """Base class for interface bundles."""
+
+    def __new__(cls, *args, **kwargs):
+        self = super().__new__(cls)
+        self.name = None
+        self.parent = None
+        return self
+
+    def get_named_signals(self):
+        """Yield (local_name, signal) pairs, recursing into sub-bundles."""
+        pairs = []
+        for name, attr in self.__dict__.items():
+            if isinstance(attr, Signal):
+                pairs.append((name, attr))
+            elif isinstance(attr, PortBundle):
+                for sub_name, sig in attr.get_named_signals():
+                    pairs.append((f"{name}.{sub_name}", sig))
+        return pairs
+
+    def get_signals(self):
+        return [sig for _, sig in self.get_named_signals()]
+
+    def connectable(self, other):
+        """Signal pairs to tie when this bundle connects to ``other``.
+
+        Bundles pair by local signal name; widths are validated during
+        elaboration.
+        """
+        mine = dict(self.get_named_signals())
+        theirs = dict(other.get_named_signals())
+        if set(mine) != set(theirs):
+            raise TypeError(
+                f"bundle mismatch: {sorted(mine)} vs {sorted(theirs)}"
+            )
+        return [(mine[name], theirs[name]) for name in mine]
+
+
+class InValRdyBundle(PortBundle):
+    """Input side of a val/rdy channel: msg/val in, rdy out."""
+
+    def __init__(self, msg_type):
+        self.msg_type = msg_type
+        self.msg = InPort(msg_type)
+        self.val = InPort(1)
+        self.rdy = OutPort(1)
+
+    def to_str(self):
+        """Standard val/rdy trace: value, ' ' idle, '#' stalled."""
+        return _valrdy_str(self.msg, self.val, self.rdy)
+
+
+class OutValRdyBundle(PortBundle):
+    """Output side of a val/rdy channel: msg/val out, rdy in."""
+
+    def __init__(self, msg_type):
+        self.msg_type = msg_type
+        self.msg = OutPort(msg_type)
+        self.val = OutPort(1)
+        self.rdy = InPort(1)
+
+    def to_str(self):
+        return _valrdy_str(self.msg, self.val, self.rdy)
+
+
+def _valrdy_str(msg, val, rdy):
+    if int(val) and int(rdy):
+        return str(msg.value)
+    if int(val):
+        return "#".ljust(len(str(msg.value)))
+    return " ".ljust(len(str(msg.value)))
+
+
+class ReqRespMsgTypes:
+    """Request/response message types for a ReqResp interface."""
+
+    def __init__(self, req_type, resp_type):
+        self.req = req_type
+        self.resp = resp_type
+
+
+class ChildReqRespBundle(PortBundle):
+    """Interface of a child device (e.g. a coprocessor): requests come
+    in, responses go out."""
+
+    def __init__(self, ifc_types):
+        self.ifc_types = ifc_types
+        self.req = InValRdyBundle(ifc_types.req)
+        self.resp = OutValRdyBundle(ifc_types.resp)
+        # Flat aliases used throughout the paper's examples
+        # (s.cpu_ifc.req_msg.ctrl_msg, ...).
+        self.req_msg = self.req.msg
+        self.req_val = self.req.val
+        self.req_rdy = self.req.rdy
+        self.resp_msg = self.resp.msg
+        self.resp_val = self.resp.val
+        self.resp_rdy = self.resp.rdy
+
+    def get_named_signals(self):
+        # Aliases share signals with .req/.resp; enumerate each once.
+        pairs = []
+        for name, attr in (("req", self.req), ("resp", self.resp)):
+            for sub_name, sig in attr.get_named_signals():
+                pairs.append((f"{name}.{sub_name}", sig))
+        return pairs
+
+
+class ParentReqRespBundle(PortBundle):
+    """Interface of a parent requester: requests go out, responses come
+    back (e.g. the memory port of an accelerator)."""
+
+    def __init__(self, ifc_types):
+        self.ifc_types = ifc_types
+        self.req = OutValRdyBundle(ifc_types.req)
+        self.resp = InValRdyBundle(ifc_types.resp)
+        self.req_msg = self.req.msg
+        self.req_val = self.req.val
+        self.req_rdy = self.req.rdy
+        self.resp_msg = self.resp.msg
+        self.resp_val = self.resp.val
+        self.resp_rdy = self.resp.rdy
+
+    def get_named_signals(self):
+        pairs = []
+        for name, attr in (("req", self.req), ("resp", self.resp)):
+            for sub_name, sig in attr.get_named_signals():
+                pairs.append((f"{name}.{sub_name}", sig))
+        return pairs

@@ -1,0 +1,419 @@
+"""Signals: ports and wires with ``.value``/``.next`` semantics.
+
+Signals are the connective tissue of a concurrent-structural model
+(paper Section III-A):
+
+- ``InPort`` / ``OutPort`` declare a model's port-based interface;
+- ``Wire`` declares internal state/connectivity;
+- signals written inside ``@s.combinational`` blocks behave like wires
+  and are updated through ``.value``;
+- signals written inside ``@s.tick_*`` blocks behave like registers and
+  are updated through ``.next`` (the write takes effect at the end of
+  the simulated cycle).
+
+Every signal owns a private ``_Net`` at construction time; elaboration
+merges the nets of structurally connected signals (union-find) so that
+all signals on a net share one storage slot.  Reading ``.value`` works
+before a simulator exists (it just reads the net), which keeps
+elaboration-time code and test benches simple.
+
+Signals also forward arithmetic/comparison operators to their current
+value so RTL blocks can write ``s.count + 1`` instead of
+``s.count.value + 1`` — matching the paper's examples.
+"""
+
+from __future__ import annotations
+
+from .bits import Bits, _norm_slice
+from .bitstruct import BitStruct
+
+
+class _Net:
+    """Shared storage for a set of connected signals.
+
+    Before simulation the net is freestanding: writes store immediately
+    and nothing is notified.  The ``SimulationTool`` attaches itself and
+    a list of dependent combinational blocks at construction time.
+    """
+
+    __slots__ = ("nbits", "_value", "_next", "parent", "sim", "blocks", "id")
+
+    def __init__(self, nbits):
+        self.nbits = nbits
+        self._value = 0
+        self._next = 0
+        self.parent = self      # union-find parent
+        self.sim = None         # owning SimulationTool, if any
+        self.blocks = ()        # combinational blocks sensitive to this net
+        self.id = None          # dense index assigned by the simulator
+
+    def find(self):
+        """Union-find root with path compression."""
+        root = self
+        while root.parent is not root:
+            root = root.parent
+        node = self
+        while node.parent is not root:
+            node.parent, node = root, node.parent
+        return root
+
+    def read(self):
+        return self._value
+
+    def write(self, value):
+        if value != self._value:
+            self._value = value
+            sim = self.sim
+            if sim is not None:
+                sim._notify(self)
+
+    def write_next(self, value):
+        self._next = value
+        sim = self.sim
+        if sim is not None:
+            sim._register_flop(self)
+
+
+def _msg_nbits(msg_type):
+    """Width (in bits) of a port message-type specification."""
+    if isinstance(msg_type, int):
+        return msg_type
+    if isinstance(msg_type, Bits):
+        return msg_type.nbits
+    if isinstance(msg_type, type) and issubclass(msg_type, BitStruct):
+        return msg_type.nbits
+    if isinstance(msg_type, BitStruct):
+        return type(msg_type).nbits
+    raise TypeError(f"unsupported message type spec: {msg_type!r}")
+
+
+def _msg_struct(msg_type):
+    """BitStruct class of a message-type spec, or None for plain Bits."""
+    if isinstance(msg_type, type) and issubclass(msg_type, BitStruct):
+        return msg_type
+    if isinstance(msg_type, BitStruct):
+        return type(msg_type)
+    return None
+
+
+class _ArrayableMeta(type):
+    """Enables the ``InPort[n](msg_type)`` list-of-ports shorthand from
+    the paper's Mux example."""
+
+    def __getitem__(cls, count):
+        def make(*args, **kwargs):
+            return [cls(*args, **kwargs) for _ in range(count)]
+        return make
+
+
+class Signal(metaclass=_ArrayableMeta):
+    """Base class for ports and wires."""
+
+    def __init__(self, msg_type):
+        self.msg_type = msg_type
+        self.nbits = _msg_nbits(msg_type)
+        self._struct = _msg_struct(msg_type)
+        self.name = None      # dotted name, assigned at elaboration
+        self.parent = None    # owning Model, assigned at elaboration
+        self._net = _Net(self.nbits)
+
+    # -- value access ---------------------------------------------------
+
+    @property
+    def value(self):
+        """Current value as ``Bits`` (or ``BitStruct`` view)."""
+        raw = self._net.find().read()
+        if self._struct is not None:
+            return self._struct(raw)
+        return Bits(self.nbits, raw)
+
+    @value.setter
+    def value(self, value):
+        self._net.find().write(int(value) & ((1 << self.nbits) - 1))
+
+    @property
+    def next(self):
+        raise AttributeError(
+            ".next is write-only; read the current value via .value"
+        )
+
+    @next.setter
+    def next(self, value):
+        self._net.find().write_next(int(value) & ((1 << self.nbits) - 1))
+
+    def uint(self):
+        return self._net.find().read()
+
+    # -- slicing and struct-field access ------------------------------------
+
+    def __getitem__(self, idx):
+        if isinstance(idx, slice):
+            lo, hi = _norm_slice(idx, self.nbits)
+        else:
+            i = int(idx)
+            if not 0 <= i < self.nbits:
+                raise IndexError(
+                    f"bit index {i} out of range for {self.nbits}-bit signal"
+                )
+            lo, hi = i, i + 1
+        return _SignalSlice(self, lo, hi)
+
+    def __getattr__(self, name):
+        # Only called for attributes not found normally: resolve
+        # BitStruct field names to sub-signal slices.
+        struct = self.__dict__.get("_struct")
+        if struct is not None:
+            try:
+                lo, hi = struct.field_slice(name)
+            except AttributeError:
+                pass
+            else:
+                field = next(f for f in struct._fields if f.name == name)
+                return _SignalSlice(self, lo, hi, field.struct_type)
+        raise AttributeError(
+            f"{type(self).__name__} {self.__dict__.get('name')} "
+            f"has no attribute {name!r}"
+        )
+
+    def __len__(self):
+        return self.nbits
+
+    # -- operator forwarding --------------------------------------------------
+
+    def __int__(self):
+        return self._net.find().read()
+
+    def __index__(self):
+        return self._net.find().read()
+
+    def __bool__(self):
+        return self._net.find().read() != 0
+
+    def __add__(self, other):
+        return self.value + other
+
+    def __radd__(self, other):
+        return self.value + other
+
+    def __sub__(self, other):
+        return self.value - other
+
+    def __rsub__(self, other):
+        return other - int(self) if isinstance(other, int) else other - self.value
+
+    def __mul__(self, other):
+        return self.value * other
+
+    __rmul__ = __mul__
+
+    def __and__(self, other):
+        return self.value & other
+
+    __rand__ = __and__
+
+    def __or__(self, other):
+        return self.value | other
+
+    __ror__ = __or__
+
+    def __xor__(self, other):
+        return self.value ^ other
+
+    __rxor__ = __xor__
+
+    def __invert__(self):
+        return ~self.value
+
+    def __lshift__(self, other):
+        return self.value << other
+
+    def __rshift__(self, other):
+        return self.value >> other
+
+    def __eq__(self, other):
+        if isinstance(other, (Signal, _SignalSlice)):
+            other = other.value
+        return self.value == other
+
+    def __ne__(self, other):
+        return not self.__eq__(other)
+
+    def __lt__(self, other):
+        if isinstance(other, (Signal, _SignalSlice)):
+            other = other.value
+        return self.value < other
+
+    def __le__(self, other):
+        if isinstance(other, (Signal, _SignalSlice)):
+            other = other.value
+        return self.value <= other
+
+    def __gt__(self, other):
+        if isinstance(other, (Signal, _SignalSlice)):
+            other = other.value
+        return self.value > other
+
+    def __ge__(self, other):
+        if isinstance(other, (Signal, _SignalSlice)):
+            other = other.value
+        return self.value >= other
+
+    def __hash__(self):
+        return id(self)
+
+    def __repr__(self):
+        kind = type(self).__name__
+        return f"{kind}({self.name or '?'}, {self.nbits}b)"
+
+
+class InPort(Signal):
+    """An input port of a model."""
+
+
+class OutPort(Signal):
+    """An output port of a model."""
+
+
+class Wire(Signal):
+    """An internal wire (or register, when written via ``.next``)."""
+
+
+class _SignalSlice:
+    """Read/write view of a bit range of a signal.
+
+    Returned by ``sig[lo:hi]``, ``sig[i]``, and BitStruct field access
+    on a signal.  Supports ``.value``/``.next`` and forwards operators,
+    so slices compose like full signals in behavioral blocks and can be
+    used in ``s.connect``.
+    """
+
+    __slots__ = ("signal", "lo", "hi", "nbits", "_struct")
+
+    def __init__(self, signal, lo, hi, struct_type=None):
+        self.signal = signal
+        self.lo = lo
+        self.hi = hi
+        self.nbits = hi - lo
+        self._struct = struct_type
+
+    @property
+    def value(self):
+        raw = self.signal._net.find().read()
+        val = (raw >> self.lo) & ((1 << self.nbits) - 1)
+        if self._struct is not None:
+            return self._struct(val)
+        return Bits(self.nbits, val)
+
+    @value.setter
+    def value(self, value):
+        net = self.signal._net.find()
+        raw = net.read()
+        mask = ((1 << self.nbits) - 1) << self.lo
+        val = (int(value) & ((1 << self.nbits) - 1)) << self.lo
+        net.write((raw & ~mask) | val)
+
+    @property
+    def next(self):
+        raise AttributeError(".next is write-only")
+
+    @next.setter
+    def next(self, value):
+        net = self.signal._net.find()
+        # Merge into the pending next value so multiple slice writes to
+        # one register within a tick compose.
+        raw = net._next if net.sim is not None and net in getattr(
+            net.sim, "_pending_flops", ()) else net.read()
+        mask = ((1 << self.nbits) - 1) << self.lo
+        val = (int(value) & ((1 << self.nbits) - 1)) << self.lo
+        net.write_next((raw & ~mask) | val)
+
+    def __getattr__(self, name):
+        struct = object.__getattribute__(self, "_struct")
+        if struct is not None:
+            lo, hi = struct.field_slice(name)
+            field = next(f for f in struct._fields if f.name == name)
+            return _SignalSlice(
+                self.signal, self.lo + lo, self.lo + hi, field.struct_type
+            )
+        raise AttributeError(name)
+
+    def __getitem__(self, idx):
+        if isinstance(idx, slice):
+            lo, hi = _norm_slice(idx, self.nbits)
+        else:
+            i = int(idx)
+            lo, hi = i, i + 1
+        return _SignalSlice(self.signal, self.lo + lo, self.lo + hi)
+
+    def __len__(self):
+        return self.nbits
+
+    def __int__(self):
+        return int(self.value)
+
+    def __index__(self):
+        return int(self.value)
+
+    def __bool__(self):
+        return int(self.value) != 0
+
+    def __add__(self, other):
+        return self.value + other
+
+    def __radd__(self, other):
+        return self.value + other
+
+    def __sub__(self, other):
+        return self.value - other
+
+    def __and__(self, other):
+        return self.value & other
+
+    def __or__(self, other):
+        return self.value | other
+
+    def __xor__(self, other):
+        return self.value ^ other
+
+    def __invert__(self):
+        return ~self.value
+
+    def __lshift__(self, other):
+        return self.value << other
+
+    def __rshift__(self, other):
+        return self.value >> other
+
+    def __eq__(self, other):
+        if isinstance(other, (Signal, _SignalSlice)):
+            other = other.value
+        return self.value == other
+
+    def __ne__(self, other):
+        return not self.__eq__(other)
+
+    def __lt__(self, other):
+        if isinstance(other, (Signal, _SignalSlice)):
+            other = other.value
+        return self.value < other
+
+    def __le__(self, other):
+        if isinstance(other, (Signal, _SignalSlice)):
+            other = other.value
+        return self.value <= other
+
+    def __gt__(self, other):
+        if isinstance(other, (Signal, _SignalSlice)):
+            other = other.value
+        return self.value > other
+
+    def __ge__(self, other):
+        if isinstance(other, (Signal, _SignalSlice)):
+            other = other.value
+        return self.value >= other
+
+    def __hash__(self):
+        return hash((id(self.signal), self.lo, self.hi))
+
+    def __repr__(self):
+        return f"{self.signal!r}[{self.lo}:{self.hi}]"

@@ -1,0 +1,16 @@
+"""SimJIT: just-in-time specialization of CL and RTL models to C
+(paper Section IV)."""
+
+from .auto import auto_specialize
+from .specializer import (
+    JITModel,
+    SimJITCL,
+    SimJITEngine,
+    SimJITRTL,
+    SpecializationError,
+)
+
+__all__ = [
+    "SimJITRTL", "SimJITCL", "JITModel", "SimJITEngine",
+    "SpecializationError", "auto_specialize",
+]

@@ -1,0 +1,107 @@
+"""Automatic hierarchy specialization.
+
+The paper notes (Section IV-A): *"Currently, the designer must manually
+invoke these specializers on their models, although future work could
+consider adding support to automatically traverse the model hierarchy
+to find and specialize appropriate CL and RTL models."*
+
+This module implements that extension: :func:`auto_specialize` walks an
+un-elaborated design, finds the maximal subtrees whose behavioral
+blocks are fully inside the SimJIT subset, compiles each, and splices
+the drop-in :class:`JITModel` wrappers back into the hierarchy.  FL
+models (and anything outside the subset) stay interpreted.
+"""
+
+from __future__ import annotations
+
+from ..ast_ir import TranslationError, translate_block
+from ..model import Model
+from .specializer import SimJITCL, SimJITRTL, SpecializationError
+
+_LEVEL_SPECIALIZERS = {
+    "rtl": SimJITRTL,
+    "cl": SimJITCL,
+}
+
+
+def _blocks_translatable(model, allowed_levels):
+    """Can this model's own blocks be lowered by a specializer?"""
+    for blk in model.get_tick_blocks():
+        if blk.level not in allowed_levels:
+            return False
+        kind = "tick_cl" if blk.level == "cl" else "tick_rtl"
+        try:
+            translate_block(model, blk, kind)
+        except TranslationError:
+            return False
+    for blk in model.get_comb_blocks():
+        try:
+            translate_block(model, blk, "comb")
+        except TranslationError:
+            return False
+    return True
+
+
+def _submodel_attrs(model):
+    """Yield (container, key, child) for every Model-valued attribute,
+    descending into lists."""
+    for name, attr in list(model.__dict__.items()):
+        if name.startswith("_"):
+            continue
+        if isinstance(attr, Model):
+            yield model.__dict__, name, attr
+        elif isinstance(attr, list):
+            for i, item in enumerate(attr):
+                if isinstance(item, Model):
+                    yield attr, i, item
+
+
+def _subtree_specializable(model, allowed_levels):
+    if not _blocks_translatable(model, allowed_levels):
+        return False
+    return all(
+        _subtree_specializable(child, allowed_levels)
+        for _, _, child in _submodel_attrs(model)
+    )
+
+
+def auto_specialize(model, allowed_levels=("rtl", "cl"), _top=True,
+                    stats=None):
+    """Specialize every maximal SimJIT-compatible subtree of ``model``.
+
+    ``model`` must not be elaborated yet.  Returns ``model`` (children
+    replaced in place by JIT wrappers).  ``stats`` (optional dict)
+    collects the names of specialized and skipped submodels.
+    """
+    if model.is_elaborated():
+        raise SpecializationError(
+            "auto_specialize must run before top-level elaboration")
+    if stats is None:
+        stats = {"specialized": [], "interpreted": []}
+    model._auto_specialize_stats = stats
+
+    for container, key, child in _submodel_attrs(model):
+        if _subtree_specializable(child, allowed_levels):
+            container[key] = _specialize_one(child, allowed_levels)
+            stats["specialized"].append(type(child).__name__)
+        else:
+            # Descend: maybe grandchildren are specializable.
+            auto_specialize(child, allowed_levels, _top=False,
+                            stats=stats)
+            stats["interpreted"].append(type(child).__name__)
+    return model
+
+
+def _specialize_one(child, allowed_levels):
+    has_cl = any(
+        blk.level == "cl"
+        for sub in _all_models(child) for blk in sub.get_tick_blocks()
+    )
+    specializer_cls = SimJITCL if has_cl else SimJITRTL
+    return specializer_cls(child.elaborate()).specialize()
+
+
+def _all_models(model):
+    yield model
+    for _, _, child in _submodel_attrs(model):
+        yield from _all_models(child)

@@ -1,0 +1,355 @@
+"""C code generation from behavioral-block IR.
+
+SimJIT's backend (paper Section IV-A): lowers :class:`BlockIR`
+statements and expressions into C.  The generated translation unit
+models every signal net as an ``unsigned __int128`` slot (wide enough
+for the 65-bit memory messages) in a ``cur``/``nxt`` double-buffered
+state array:
+
+- combinational blocks read and write ``cur`` with change detection
+  (the ``comb_changed`` flag drives the fixpoint loop);
+- tick blocks read ``cur`` and write ``nxt``; the clock edge copies
+  ``nxt`` into ``cur``;
+- local variables are ``int64_t`` (signed, so idioms like
+  ``sa = a - 0x100000000`` compare correctly);
+- plain CL state becomes static ``int64_t`` variables/arrays.
+
+Dynamic signal-list indexing (``s.rf[rd]``) is compiled to a static
+slot lookup table per reference.
+"""
+
+from __future__ import annotations
+
+from ..ast_ir import (
+    AssignLocal,
+    AssignSig,
+    AssignState,
+    BinOp,
+    BoolOp,
+    Break,
+    Cmp,
+    Concat,
+    Const,
+    Continue,
+    DeclLocalArray,
+    For,
+    If,
+    IfExp,
+    LocalRead,
+    SigRead,
+    SigRef,
+    StateRead,
+    StateRef,
+    TranslationError,
+    UnOp,
+)
+
+C_PRELUDE = r"""
+#include <stdint.h>
+#include <string.h>
+#include <stdlib.h>
+
+typedef unsigned __int128 u128;
+
+#define NNETS @NNETS@
+
+static inline u128 mask_of(int width) {
+    if (width >= 128) return (u128)-1;
+    return (((u128)1) << width) - 1;
+}
+
+/* Python floor-division semantics for signed operands (C truncates
+   toward zero; Python floors).  Subset values passed through these are
+   bounded well below 2^63. */
+static inline int64_t py_mod(int64_t a, int64_t b) {
+    int64_t r = a % b;
+    if (r != 0 && ((r < 0) != (b < 0))) r += b;
+    return r;
+}
+
+static inline int64_t py_floordiv(int64_t a, int64_t b) {
+    int64_t q = a / b;
+    if ((a % b != 0) && ((a < 0) != (b < 0))) q -= 1;
+    return q;
+}
+"""
+
+# The instance struct is emitted by the specializer (it knows the CL
+# state variables); every generated function takes an `inst_t *I`, so
+# multiple instances of the same compiled model never share state.
+C_API = r"""
+/* ---- external API (cffi) ---- */
+
+void *new_instance(void) {
+    inst_t *I = (inst_t *)calloc(1, sizeof(inst_t));
+    init_instance(I);
+    return I;
+}
+
+void free_instance(void *p) {
+    free(p);
+}
+
+void set_net(void *p, int idx, uint64_t lo, uint64_t hi) {
+    inst_t *I = (inst_t *)p;
+    I->cur[idx] = (((u128)hi << 64) | lo) & mask_of(net_width[idx]);
+}
+
+void get_net(void *p, int idx, uint64_t *out) {
+    inst_t *I = (inst_t *)p;
+    out[0] = (uint64_t)I->cur[idx];
+    out[1] = (uint64_t)(I->cur[idx] >> 64);
+}
+
+int eval_comb(void *p) {
+    /* Fixpoint over whole-state snapshots: a block may legitimately
+       write a net twice per pass (clear-then-set), so per-write change
+       flags would never settle.  Blocks are statically scheduled in
+       dependency order, so this usually converges in two passes. */
+    inst_t *I = (inst_t *)p;
+    int iters = 0;
+    do {
+        memcpy(I->prev, I->cur, sizeof(I->cur));
+        run_comb_blocks(I);
+        iters++;
+        if (iters > 64) return -1;   /* combinational loop */
+    } while (memcmp(I->prev, I->cur, sizeof(I->cur)) != 0);
+    return iters;
+}
+
+int cycle(void *p, int n) {
+    inst_t *I = (inst_t *)p;
+    for (int i = 0; i < n; i++) {
+        if (eval_comb(p) < 0) return -1;
+        memcpy(I->nxt, I->cur, sizeof(I->cur));
+        run_tick_blocks(I);
+        memcpy(I->cur, I->nxt, sizeof(I->cur));
+        if (eval_comb(p) < 0) return -1;
+    }
+    return 0;
+}
+
+int64_t get_state(void *p, int idx) {
+    return state_probe((inst_t *)p, idx);
+}
+
+void get_nets(void *p, const int *idxs, int n, uint64_t *out) {
+    inst_t *I = (inst_t *)p;
+    for (int i = 0; i < n; i++) {
+        u128 v = I->cur[idxs[i]];
+        out[2 * i] = (uint64_t)v;
+        out[2 * i + 1] = (uint64_t)(v >> 64);
+    }
+}
+"""
+
+C_HEADER_DECLS = """
+void *new_instance(void);
+void free_instance(void *p);
+void set_net(void *p, int idx, uint64_t lo, uint64_t hi);
+void get_net(void *p, int idx, uint64_t *out);
+int eval_comb(void *p);
+int cycle(void *p, int n);
+int64_t get_state(void *p, int idx);
+void get_nets(void *p, const int *idxs, int n, uint64_t *out);
+"""
+
+
+class CBackend:
+    """Generates one C function per behavioral block."""
+
+    def __init__(self, slot_of, state_cname=None):
+        """``slot_of(signal) -> int`` maps a signal to its net slot;
+        ``state_cname(ref) -> str`` names a CL state variable in C
+        (must be unique per (model, attribute))."""
+        self.slot_of = slot_of
+        self.state_cname = state_cname or (lambda ref: _sname(ref.name))
+        self._tables = []          # (name, [slots]) lookup tables
+        self._table_cache = {}
+
+    # -- tables for dynamic indexing -----------------------------------------
+
+    def table_for(self, ref):
+        slots = tuple(self.slot_of(sig) for sig in ref.signals)
+        if slots not in self._table_cache:
+            name = f"tbl{len(self._tables)}"
+            self._tables.append((name, slots))
+            self._table_cache[slots] = name
+        return self._table_cache[slots]
+
+    def emit_tables(self):
+        lines = []
+        for name, slots in self._tables:
+            body = ", ".join(str(s) for s in slots)
+            lines.append(
+                f"static const int {name}[{len(slots)}] = {{{body}}};"
+            )
+        return "\n".join(lines)
+
+    # -- references ---------------------------------------------------------------
+
+    def slot_expr(self, ref):
+        if ref.is_dynamic():
+            table = self.table_for(ref)
+            return f"{table}[(int)({self.expr(ref.index)})]"
+        return str(self.slot_of(ref.signal))
+
+    def sig_read(self, ref, array="cur"):
+        slot = self.slot_expr(ref)
+        base = f"I->{array}[{slot}]"
+        width = ref.width
+        if ref.lo == 0 and ref.hi is None:
+            # Full-width read; nets are stored masked already.
+            return f"({base})"
+        return (f"(({base} >> {ref.lo}) & mask_of({width}))")
+
+    def sig_write(self, ref, value_c, is_next, indent):
+        array = "nxt" if is_next else "cur"
+        slot = self.slot_expr(ref)
+        width = ref.width
+        full = ref.lo == 0 and ref.hi is None
+        pad = " " * indent
+        lines = [f"{pad}{{"]
+        lines.append(f"{pad}  u128 _v = ((u128)({value_c})) & "
+                     f"mask_of({width});")
+        if full:
+            lines.append(f"{pad}  u128 _nv = _v;")
+        else:
+            lines.append(
+                f"{pad}  u128 _nv = (I->{array}[{slot}] & "
+                f"~(mask_of({width}) << {ref.lo})) | (_v << {ref.lo});"
+            )
+        lines.append(f"{pad}  I->{array}[{slot}] = _nv;")
+        lines.append(f"{pad}}}")
+        return "\n".join(lines)
+
+    # -- expressions ------------------------------------------------------------------
+
+    def expr(self, node):
+        if isinstance(node, Const):
+            value = node.value
+            if value < 0:
+                return f"((int64_t)({value}LL))"
+            if value > 0x7FFFFFFFFFFFFFFF:
+                hi, lo = value >> 64, value & ((1 << 64) - 1)
+                return f"((((u128){hi}ULL) << 64) | {lo}ULL)"
+            return f"({value}LL)"
+        if isinstance(node, SigRead):
+            return self.sig_read(node.ref)
+        if isinstance(node, StateRead):
+            return self.state_read(node.ref)
+        if isinstance(node, LocalRead):
+            if node.index is not None:
+                return f"{_lname(node.name)}[(int)({self.expr(node.index)})]"
+            return _lname(node.name)
+        if isinstance(node, BinOp):
+            left, right = self.expr(node.left), self.expr(node.right)
+            if node.op == "//":
+                return (f"py_floordiv((int64_t)({left}), "
+                        f"(int64_t)({right}))")
+            if node.op == "%":
+                return f"py_mod((int64_t)({left}), (int64_t)({right}))"
+            return f"({left} {node.op} {right})"
+        if isinstance(node, UnOp):
+            return f"({node.op}({self.expr(node.operand)}))"
+        if isinstance(node, Cmp):
+            return (f"(({self.expr(node.left)}) {node.op} "
+                    f"({self.expr(node.right)}))")
+        if isinstance(node, BoolOp):
+            joined = f" {node.op} ".join(
+                f"(({self.expr(v)}) != 0)" for v in node.values
+            )
+            return f"({joined})"
+        if isinstance(node, IfExp):
+            return (f"((({self.expr(node.cond)}) != 0) ? "
+                    f"({self.expr(node.then)}) : ({self.expr(node.orelse)}))")
+        if isinstance(node, Concat):
+            parts = []
+            shift = sum(w for _, w in node.parts)
+            for expr, width in node.parts:
+                shift -= width
+                parts.append(f"((((u128)({self.expr(expr)})) & "
+                             f"mask_of({width})) << {shift})")
+            return "(" + " | ".join(parts) + ")"
+        raise TranslationError(f"cgen: unknown expr {type(node).__name__}")
+
+    # -- CL plain state ---------------------------------------------------------------
+
+    def state_read(self, ref):
+        name = f"I->{self.state_cname(ref)}"
+        if ref.index is not None:
+            return f"{name}[(int)({self.expr(ref.index)})]"
+        return name
+
+    def state_write(self, ref, value_c, indent):
+        pad = " " * indent
+        name = f"I->{self.state_cname(ref)}"
+        if ref.index is not None:
+            return (f"{pad}{name}[(int)({self.expr(ref.index)})] = "
+                    f"(int64_t)({value_c});")
+        return f"{pad}{name} = (int64_t)({value_c});"
+
+    # -- statements --------------------------------------------------------------------
+
+    def stmt(self, node, indent=2):
+        pad = " " * indent
+        if isinstance(node, AssignSig):
+            return self.sig_write(node.ref, self.expr(node.expr),
+                                  node.is_next, indent)
+        if isinstance(node, AssignState):
+            return self.state_write(node.ref, self.expr(node.expr), indent)
+        if isinstance(node, AssignLocal):
+            name = _lname(node.name)
+            if node.index is not None:
+                return (f"{pad}{name}[(int)({self.expr(node.index)})] = "
+                        f"(int64_t)({self.expr(node.expr)});")
+            return f"{pad}{name} = (int64_t)({self.expr(node.expr)});"
+        if isinstance(node, DeclLocalArray):
+            name = _lname(node.name)
+            fill = self.expr(node.init)
+            return (f"{pad}for (int _i = 0; _i < {node.size}; _i++) "
+                    f"{name}[_i] = {fill};")
+        if isinstance(node, If):
+            lines = [f"{pad}if (({self.expr(node.cond)}) != 0) {{"]
+            lines.extend(self.stmt(s, indent + 2) for s in node.body)
+            if node.orelse:
+                lines.append(f"{pad}}} else {{")
+                lines.extend(self.stmt(s, indent + 2) for s in node.orelse)
+            lines.append(f"{pad}}}")
+            return "\n".join(lines)
+        if isinstance(node, For):
+            var = _lname(node.var)
+            lines = [
+                f"{pad}for ({var} = {node.start}; {var} < {node.stop}; "
+                f"{var} += {node.step}) {{"
+            ]
+            lines.extend(self.stmt(s, indent + 2) for s in node.body)
+            lines.append(f"{pad}}}")
+            return "\n".join(lines)
+        if isinstance(node, Break):
+            return f"{pad}break;"
+        if isinstance(node, Continue):
+            return f"{pad}continue;"
+        raise TranslationError(f"cgen: unknown stmt {type(node).__name__}")
+
+    def block_function(self, ir, func_name):
+        """Emit the full C function for a lowered block."""
+        lines = [f"static void {func_name}(inst_t *I) {{"]
+        lines.append("  (void)I;")
+        for name, ltype in ir.locals.items():
+            if ltype == "int":
+                lines.append(f"  int64_t {_lname(name)} = 0;")
+            else:
+                lines.append(f"  int64_t {_lname(name)}[{ltype[1]}];")
+        for stmt in ir.body:
+            lines.append(self.stmt(stmt, 2))
+        lines.append("}")
+        return "\n".join(lines)
+
+
+def _lname(name):
+    return f"l_{name}"
+
+
+def _sname(name):
+    return f"st_{name}"

@@ -1,0 +1,206 @@
+"""SimulationTool: event-driven simulator for elaborated models.
+
+The simulator (paper Section III-B) inspects an elaborated model
+instance, registers its concurrent logic blocks, wires sensitivity
+lists to nets, and exposes a cycle-based API:
+
+    model = MuxReg(8, 4).elaborate()
+    sim = SimulationTool(model)
+    sim.reset()
+    model.in_[0].value = 42
+    sim.cycle()
+    assert model.out == expected
+
+Cycle semantics:
+
+1. combinational logic settles (event-driven fixpoint) so tick blocks
+   see inputs the test bench just drove;
+2. all ``@s.tick_*`` blocks execute once, reading ``.value`` (pre-edge
+   state) and writing ``.next``;
+3. the clock edge flops every pending ``.next`` into ``.value``;
+4. combinational logic settles again so the test bench reads
+   post-edge outputs.
+
+Combinational blocks are enqueued when a net in their sensitivity list
+changes; a net write that does not change the stored value triggers
+nothing.  A bounded event budget per settle phase detects true
+combinational loops instead of hanging.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class SimulationError(Exception):
+    """Raised for runtime simulation problems (e.g. comb loops)."""
+
+
+# Event budget per combinational settle phase, scaled by design size.
+_EVENT_BUDGET_PER_BLOCK = 1000
+
+
+class SimulationTool:
+    """Generates and drives a simulator for an elaborated model."""
+
+    def __init__(self, model, line_trace=False, vcd=None,
+                 collect_stats=False):
+        if not model.is_elaborated():
+            model.elaborate()
+        self.model = model
+        self.ncycles = 0
+        self._line_trace_on = line_trace
+        self._vcd = vcd
+        if vcd is not None:
+            vcd.attach(model)
+        self.collect_stats = collect_stats
+        self.num_events = 0
+        self.block_calls = {}       # func -> execution count
+
+        # Attach nets to this simulator and assign dense ids.
+        for i, net in enumerate(model._all_nets):
+            net.sim = self
+            net.blocks = ()
+            net.id = i
+
+        # Tick blocks in hierarchical declaration order.  FL blocks
+        # that use blocking adapters get wrapped in coroutine runners.
+        from .adapters import wrap_fl_ticks
+        wrappers = wrap_fl_ticks(model)
+        self._tick_blocks = [
+            blk for m in model._all_models for blk in m.get_tick_blocks()
+        ]
+        self._ticks = [
+            wrappers.get(blk.func, blk.func) for blk in self._tick_blocks
+        ]
+
+        # Combinational blocks: wire sensitivity lists into net callbacks.
+        self._comb_blocks = [
+            blk for m in model._all_models for blk in m.get_comb_blocks()
+        ]
+        comb_funcs = []
+        for blk in self._comb_blocks:
+            comb_funcs.append(blk.func)
+            for sig in blk.signals:
+                net = sig._net.find()
+                if blk.func not in net.blocks:
+                    net.blocks = net.blocks + (blk.func,)
+
+        # Slice/constant connectors become tiny combinational copies.
+        for src, dst in model._connectors:
+            func = _make_connector(src, dst)
+            comb_funcs.append(func)
+            sig = src.signal if hasattr(src, "signal") else src
+            net = sig._net.find()
+            net.blocks = net.blocks + (func,)
+
+        self._all_comb_funcs = comb_funcs
+        self._event_budget = max(
+            10000, _EVENT_BUDGET_PER_BLOCK * max(1, len(comb_funcs))
+        )
+
+        self._queue = deque()
+        self._queued = set()
+        self._pending_flops = {}
+
+        # Constant ties: drive once; nothing else may write these nets.
+        for end, const in model._const_ties:
+            end.value = const
+
+        # Initial settle: evaluate every combinational block once.
+        for func in comb_funcs:
+            self._enqueue(func)
+        self.eval_combinational()
+
+    # -- net callbacks (called by _Net) ------------------------------------
+
+    def _notify(self, net):
+        for func in net.blocks:
+            self._enqueue(func)
+
+    def _register_flop(self, net):
+        self._pending_flops[net] = True
+
+    def _enqueue(self, func):
+        if func not in self._queued:
+            self._queued.add(func)
+            self._queue.append(func)
+
+    # -- simulation control ---------------------------------------------------
+
+    def eval_combinational(self):
+        """Run combinational logic to fixpoint."""
+        queue = self._queue
+        queued = self._queued
+        budget = self._event_budget
+        stats = self.block_calls if self.collect_stats else None
+        events = 0
+        while queue:
+            func = queue.popleft()
+            queued.discard(func)
+            func()
+            events += 1
+            if stats is not None:
+                stats[func] = stats.get(func, 0) + 1
+            if events > budget:
+                raise SimulationError(
+                    "combinational logic failed to settle "
+                    f"after {events} events: likely a combinational loop"
+                )
+        self.num_events += events
+
+    def cycle(self):
+        """Advance simulated time by one clock cycle."""
+        self.eval_combinational()
+        for tick in self._ticks:
+            tick()
+        self._flop()
+        self.eval_combinational()
+        self.ncycles += 1
+        if self._vcd is not None:
+            self._vcd.sample(self.ncycles)
+        if self._line_trace_on:
+            self.print_line_trace()
+
+    def run(self, ncycles):
+        """Run ``ncycles`` cycles."""
+        for _ in range(ncycles):
+            self.cycle()
+
+    def reset(self):
+        """Assert reset for two cycles, then deassert (PyMTL idiom).
+
+        Combinational logic settles after deassertion so the test
+        bench immediately sees post-reset outputs (e.g. rdy signals
+        gated by reset)."""
+        self.model.reset.value = 1
+        self.cycle()
+        self.cycle()
+        self.model.reset.value = 0
+        self.eval_combinational()
+
+    def _flop(self):
+        pending = self._pending_flops
+        if not pending:
+            return
+        for net in pending:
+            if net._next != net._value:
+                net._value = net._next
+                self._notify(net)
+        pending.clear()
+
+    # -- debugging ----------------------------------------------------------------
+
+    def print_line_trace(self):
+        trace = self.model.line_trace()
+        if trace:
+            print(f"{self.ncycles:4}: {trace}")
+
+
+def _make_connector(src, dst):
+    """Build the copy function implementing a directional slice/const
+    connector."""
+    def connector():
+        dst.value = src.value
+    connector.__name__ = "connect_copy"
+    return connector

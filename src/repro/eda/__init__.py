@@ -1,0 +1,6 @@
+"""Analytic EDA estimation (area / energy / timing) for RTL designs —
+the documented substitution for the paper's Synopsys flow."""
+
+from .estimator import EdaReport, ModuleEstimate, estimate
+
+__all__ = ["estimate", "EdaReport", "ModuleEstimate"]

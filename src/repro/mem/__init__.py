@@ -1,0 +1,21 @@
+"""Memory substrate: message types, magic test memory, and blocking
+direct-mapped caches at FL/CL/RTL detail."""
+
+from .cache_cl import CacheCL
+from .cache_fl import CacheFL
+from .cache_rtl import CacheRTL
+from .msgs import (
+    MEM_REQ_READ,
+    MEM_REQ_WRITE,
+    MemMsg,
+    MemReqMsg,
+    MemRespMsg,
+)
+from .test_memory import TestMemory
+
+__all__ = [
+    "MemMsg", "MemReqMsg", "MemRespMsg",
+    "MEM_REQ_READ", "MEM_REQ_WRITE",
+    "TestMemory",
+    "CacheFL", "CacheCL", "CacheRTL",
+]

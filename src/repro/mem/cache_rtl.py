@@ -1,0 +1,215 @@
+"""RTL cache: set-associative, blocking, write-through — full FSM detail.
+
+Cycle-accurate, resource-accurate implementation of the same cache the
+CL model approximates: explicit valid/tag/data arrays, an FSM with
+refill and write-through states, and raw val/rdy handshaking on both
+interfaces.  Geometry matches ``CacheCL`` (4-word lines); supported
+associativities are 1 (the paper's direct-mapped tile configuration)
+and 2 (one LRU bit per set).  The whole model stays inside the
+SimJIT-RTL translatable subset.
+"""
+
+from __future__ import annotations
+
+from ..core import (
+    ChildReqRespBundle,
+    Model,
+    ParentReqRespBundle,
+    Wire,
+    clog2,
+)
+from .msgs import MEM_REQ_WRITE
+
+WORDS_PER_LINE = 4
+LINE_BYTES = 4 * WORDS_PER_LINE
+
+# FSM states
+_IDLE = 0
+_REFILL = 1
+_WRITETHRU_REQ = 2
+_WRITETHRU_WAIT = 3
+_RESP = 4
+
+
+class CacheRTL(Model):
+    """Blocking set-associative write-through cache, register-transfer
+    level."""
+
+    def __init__(s, mem_ifc_types, cpu_ifc_types, nlines=64, assoc=1):
+        if assoc not in (1, 2):
+            raise ValueError("CacheRTL supports assoc 1 or 2")
+        if nlines % assoc:
+            raise ValueError("nlines must be a multiple of assoc")
+        s.cpu_ifc = ChildReqRespBundle(cpu_ifc_types)
+        s.mem_ifc = ParentReqRespBundle(mem_ifc_types)
+
+        s.nlines = nlines
+        s.assoc = assoc
+        s.nsets = nlines // assoc
+        s.idx_bits = clog2(s.nsets)
+        s.off_bits = 2 + clog2(WORDS_PER_LINE)
+        s.tag_bits = 32 - s.off_bits - s.idx_bits
+
+        # Storage arrays (indexed by line = set * assoc + way).
+        s.valid = [Wire(1) for _ in range(nlines)]
+        s.tags = [Wire(s.tag_bits) for _ in range(nlines)]
+        s.data = [Wire(32) for _ in range(nlines * WORDS_PER_LINE)]
+        # One LRU bit per set (names the least-recently-used way).
+        s.lru = [Wire(1) for _ in range(s.nsets)]
+
+        # Latched request and FSM registers.
+        s.state = Wire(3)
+        s.req_type = Wire(1)
+        s.req_addr = Wire(32)
+        s.req_data = Wire(32)
+        s.victim_line = Wire(max(1, clog2(nlines)))
+        s.sent = Wire(3)
+        s.got = Wire(3)
+        s.resp_data = Wire(32)
+        s.resp_type = Wire(1)
+
+        # Statistics counters (real registers, SimJIT-translatable).
+        s.access_count = Wire(32)
+        s.miss_count = Wire(32)
+
+        @s.tick_rtl
+        def seq_logic():
+            if s.reset:
+                s.state.next = _IDLE
+                s.access_count.next = 0
+                s.miss_count.next = 0
+                for i in range(s.nlines):
+                    s.valid[i].next = 0
+                for i in range(s.nsets):
+                    s.lru[i].next = 0
+            elif s.state.uint() == _IDLE:
+                if s.cpu_ifc.req_val.uint() and s.cpu_ifc.req_rdy.uint():
+                    s.access_count.next = s.access_count + 1
+                    addr = s.cpu_ifc.req_msg.addr.value.uint()
+                    idx = (addr >> s.off_bits) & (s.nsets - 1)
+                    tag = addr >> (s.off_bits + s.idx_bits)
+                    word = (addr >> 2) & (WORDS_PER_LINE - 1)
+
+                    hit_way = -1
+                    for w in range(s.assoc):
+                        line = idx * s.assoc + w
+                        if s.valid[line].uint() \
+                                and s.tags[line].uint() == tag:
+                            hit_way = w
+                    hit_line = idx * s.assoc + hit_way
+
+                    s.req_type.next = s.cpu_ifc.req_msg.type_.value
+                    s.req_addr.next = addr
+                    s.req_data.next = s.cpu_ifc.req_msg.data.value
+                    if s.cpu_ifc.req_msg.type_.value.uint() \
+                            == MEM_REQ_WRITE:
+                        if hit_way >= 0:
+                            s.data[hit_line * WORDS_PER_LINE
+                                   + word].next = \
+                                s.cpu_ifc.req_msg.data.value
+                            if s.assoc == 2:
+                                s.lru[idx].next = 1 - hit_way
+                        s.state.next = _WRITETHRU_REQ
+                    elif hit_way >= 0:
+                        s.resp_data.next = \
+                            s.data[hit_line * WORDS_PER_LINE
+                                   + word].value
+                        s.resp_type.next = 0
+                        if s.assoc == 2:
+                            s.lru[idx].next = 1 - hit_way
+                        s.state.next = _RESP
+                    else:
+                        s.miss_count.next = s.miss_count + 1
+                        # Victim: an invalid way if any, else LRU.
+                        victim = s.lru[idx].uint() if s.assoc == 2 else 0
+                        for w in range(s.assoc):
+                            if s.valid[idx * s.assoc + w].uint() == 0:
+                                victim = w
+                        s.victim_line.next = idx * s.assoc + victim
+                        s.sent.next = 0
+                        s.got.next = 0
+                        s.state.next = _REFILL
+            elif s.state.uint() == _REFILL:
+                line = s.victim_line.uint()
+                idx = (s.req_addr.uint() >> s.off_bits) & (s.nsets - 1)
+                word = (s.req_addr.uint() >> 2) & (WORDS_PER_LINE - 1)
+                if s.mem_ifc.req_val.uint() and s.mem_ifc.req_rdy.uint():
+                    s.sent.next = s.sent + 1
+                if s.mem_ifc.resp_val.uint() \
+                        and s.mem_ifc.resp_rdy.uint():
+                    got = s.got.uint()
+                    s.data[line * WORDS_PER_LINE + got].next = \
+                        s.mem_ifc.resp_msg.data.value
+                    if got == word:
+                        s.resp_data.next = s.mem_ifc.resp_msg.data.value
+                    s.got.next = got + 1
+                    if got == WORDS_PER_LINE - 1:
+                        s.valid[line].next = 1
+                        s.tags[line].next = \
+                            s.req_addr.uint() >> (s.off_bits + s.idx_bits)
+                        if s.assoc == 2:
+                            s.lru[idx].next = \
+                                1 - (line - idx * s.assoc)
+                        s.resp_type.next = 0
+                        s.state.next = _RESP
+            elif s.state.uint() == _WRITETHRU_REQ:
+                if s.mem_ifc.req_val.uint() and s.mem_ifc.req_rdy.uint():
+                    s.state.next = _WRITETHRU_WAIT
+            elif s.state.uint() == _WRITETHRU_WAIT:
+                if s.mem_ifc.resp_val.uint() \
+                        and s.mem_ifc.resp_rdy.uint():
+                    s.resp_type.next = MEM_REQ_WRITE
+                    s.resp_data.next = 0
+                    s.state.next = _RESP
+            elif s.state.uint() == _RESP:
+                if s.cpu_ifc.resp_val.uint() \
+                        and s.cpu_ifc.resp_rdy.uint():
+                    s.state.next = _IDLE
+
+        @s.combinational
+        def comb_logic():
+            state = s.state.uint()
+            if s.reset.uint():
+                state = -1
+            s.cpu_ifc.req_rdy.value = state == _IDLE
+            s.cpu_ifc.resp_val.value = state == _RESP
+            s.cpu_ifc.resp_msg.type_.value = s.resp_type.value
+            s.cpu_ifc.resp_msg.data.value = s.resp_data.value
+
+            if state == _REFILL:
+                line_base = s.req_addr.uint() & ~(LINE_BYTES - 1)
+                s.mem_ifc.req_val.value = s.sent.uint() < WORDS_PER_LINE
+                s.mem_ifc.req_msg.type_.value = 0
+                s.mem_ifc.req_msg.addr.value = \
+                    line_base + 4 * s.sent.uint()
+                s.mem_ifc.req_msg.data.value = 0
+                s.mem_ifc.resp_rdy.value = 1
+            elif state == _WRITETHRU_REQ:
+                s.mem_ifc.req_val.value = 1
+                s.mem_ifc.req_msg.type_.value = MEM_REQ_WRITE
+                s.mem_ifc.req_msg.addr.value = s.req_addr.value
+                s.mem_ifc.req_msg.data.value = s.req_data.value
+                s.mem_ifc.resp_rdy.value = 0
+            elif state == _WRITETHRU_WAIT:
+                s.mem_ifc.req_val.value = 0
+                s.mem_ifc.resp_rdy.value = 1
+            else:
+                s.mem_ifc.req_val.value = 0
+                s.mem_ifc.resp_rdy.value = 0
+
+    @property
+    def num_accesses(s):
+        return int(s.access_count)
+
+    @property
+    def num_misses(s):
+        return int(s.miss_count)
+
+    def miss_rate(s):
+        if not s.num_accesses:
+            return 0.0
+        return s.num_misses / s.num_accesses
+
+    def line_trace(s):
+        names = {0: "I", 1: "R", 2: "w", 3: "W", 4: "r"}
+        return f"[{names.get(int(s.state), '?')}]"

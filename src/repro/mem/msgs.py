@@ -1,0 +1,60 @@
+"""Memory request/response message types.
+
+The processor, caches, accelerator, and test memory all speak this
+little protocol over val/rdy channels:
+
+- ``MemReqMsg``  : type_ (0 = read, 1 = write), 32-bit address, 32-bit
+  write data;
+- ``MemRespMsg`` : type_ echo, 32-bit read data.
+
+``MemMsg`` bundles the two for interface parameterization (the
+``mem_ifc_types`` constructor argument used throughout the paper's
+Figures 7-9).
+"""
+
+from __future__ import annotations
+
+from ..core import BitStruct, Field, ReqRespMsgTypes
+
+MEM_REQ_READ = 0
+MEM_REQ_WRITE = 1
+
+
+class MemReqMsg(BitStruct):
+    type_ = Field(1)
+    addr = Field(32)
+    data = Field(32)
+
+    @classmethod
+    def mk_rd(cls, addr):
+        msg = cls()
+        msg.type_ = MEM_REQ_READ
+        msg.addr = addr
+        return msg
+
+    @classmethod
+    def mk_wr(cls, addr, data):
+        msg = cls()
+        msg.type_ = MEM_REQ_WRITE
+        msg.addr = addr
+        msg.data = data
+        return msg
+
+
+class MemRespMsg(BitStruct):
+    type_ = Field(1)
+    data = Field(32)
+
+    @classmethod
+    def mk(cls, type_, data):
+        msg = cls()
+        msg.type_ = type_
+        msg.data = data
+        return msg
+
+
+class MemMsg(ReqRespMsgTypes):
+    """Memory interface types: ``MemMsg().req`` / ``.resp``."""
+
+    def __init__(self):
+        super().__init__(MemReqMsg, MemRespMsg)

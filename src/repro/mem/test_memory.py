@@ -1,0 +1,108 @@
+"""TestMemory: FL magic memory with port-based latency-insensitive
+interfaces.
+
+The memory responds to read/write requests over one or more val/rdy
+request/response channels with a configurable fixed latency.  It is the
+substrate under the accelerator (paper Figures 7-9) and the processor
+case studies, and also serves FL-composition roles: because it exposes
+the same interface as the caches, test benches swap freely between
+"magic" and realistic memory systems.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..core import ChildReqRespBundle, Model
+from .msgs import MEM_REQ_WRITE, MemMsg, MemRespMsg
+
+
+class TestMemory(Model):
+    """Magic word-addressable memory.
+
+    Parameters
+    ----------
+    nports : number of independent request/response ports.
+    latency : cycles between request acceptance and response validity
+        (minimum 1: a request accepted at edge N produces a response no
+        earlier than edge N+1, like a synchronous SRAM).
+    size : bytes of backing storage.
+    """
+
+    __test__ = False      # not a pytest class, despite the name
+
+    def __init__(s, nports=1, latency=1, size=1 << 20):
+        mem_msg = MemMsg()
+        s.ports = [ChildReqRespBundle(mem_msg) for _ in range(nports)]
+        s.nports = nports
+        s.latency = max(1, latency)
+        s.size = size
+        s.mem = bytearray(size)
+        # Per-port FIFO of (ready_cycle, resp_bits) awaiting delivery.
+        s.pending = [deque() for _ in range(nports)]
+        s.cycle_count = 0
+
+        @s.tick_fl
+        def logic():
+            s.cycle_count += 1
+            if s.reset:
+                for i in range(s.nports):
+                    s.pending[i].clear()
+                    s.ports[i].req_rdy.next = 0
+                    s.ports[i].resp_val.next = 0
+                return
+            for i in range(s.nports):
+                s._port_tick(i)
+
+    def _port_tick(s, i):
+        port = s.ports[i]
+        pending = s.pending[i]
+
+        # Response delivered on the last edge?
+        if int(port.resp_val) and int(port.resp_rdy):
+            pending.popleft()
+
+        # Accept a new request?
+        if int(port.req_val) and int(port.req_rdy):
+            req = port.req_msg.value
+            resp = s._process(req)
+            pending.append((s.cycle_count + s.latency - 1, resp))
+
+        # Drive next-cycle outputs.
+        port.req_rdy.next = len(pending) < 4
+        if pending and pending[0][0] <= s.cycle_count:
+            port.resp_val.next = 1
+            port.resp_msg.next = pending[0][1]
+        else:
+            port.resp_val.next = 0
+
+    def _process(s, req):
+        addr = int(req.addr) & (s.size - 1) & ~0x3
+        if int(req.type_) == MEM_REQ_WRITE:
+            data = int(req.data)
+            s.mem[addr:addr + 4] = data.to_bytes(4, "little")
+            return MemRespMsg.mk(MEM_REQ_WRITE, 0)
+        data = int.from_bytes(s.mem[addr:addr + 4], "little")
+        return MemRespMsg.mk(0, data)
+
+    # -- direct (backdoor) access for test setup ---------------------------
+
+    def write_word(s, addr, value):
+        """Backdoor word write for test initialization."""
+        addr &= (s.size - 1) & ~0x3
+        s.mem[addr:addr + 4] = (value & 0xFFFFFFFF).to_bytes(4, "little")
+
+    def read_word(s, addr):
+        """Backdoor word read for test checking."""
+        addr &= (s.size - 1) & ~0x3
+        return int.from_bytes(s.mem[addr:addr + 4], "little")
+
+    def load(s, base, words):
+        """Backdoor bulk load of a word list starting at ``base``."""
+        for i, word in enumerate(words):
+            s.write_word(base + 4 * i, word)
+
+    def line_trace(s):
+        return "|".join(
+            f"{p.req.to_str()}>{p.resp.to_str()}" for p in s.ports
+        )

@@ -1,0 +1,32 @@
+"""On-chip network substrate: messages, FL crossbar network, CL/RTL
+mesh routers, structural mesh, and traffic harness (paper Section
+III-D)."""
+
+from .mem_over_net import (
+    RemoteMemClient,
+    RemoteMemServer,
+    RemoteMemSystem,
+)
+from .mesh import MeshNetworkStructural
+from .msgs import NetMsg
+from .ring import RingNetworkStructural, RouterRingCL
+from .network_fl import NetworkFL
+from .router_cl import RouterCL
+from .router_rtl import RouterRTL
+from .traffic import (
+    NetworkTrafficHarness,
+    TrafficStats,
+    find_saturation_point,
+    measure_saturation,
+    measure_zero_load_latency,
+)
+
+__all__ = [
+    "NetMsg", "NetworkFL", "RouterCL", "RouterRTL",
+    "MeshNetworkStructural",
+    "RemoteMemClient", "RemoteMemServer", "RemoteMemSystem",
+    "RingNetworkStructural", "RouterRingCL",
+    "NetworkTrafficHarness", "TrafficStats",
+    "measure_zero_load_latency", "measure_saturation",
+    "find_saturation_point",
+]

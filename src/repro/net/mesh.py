@@ -1,0 +1,59 @@
+"""Structural mesh network, parameterized by router type.
+
+A direct reproduction of paper Figure 11: the network is composed
+structurally from ``nrouters`` router instances whose class is passed
+in as a parameter, so the same top-level code instantiates FL, CL, or
+RTL meshes (and mixed ones) — the key multi-level-modeling trick of
+Section III-D.
+"""
+
+from __future__ import annotations
+
+from math import sqrt
+
+from ..core import InValRdyBundle, Model, OutValRdyBundle
+from .msgs import NetMsg
+
+
+class MeshNetworkStructural(Model):
+    """2-D mesh composed of ``RouterType`` instances (paper Figure 11)."""
+
+    def __init__(s, RouterType, nrouters, nmsgs, data_nbits, nentries):
+        # ensure nrouters is a perfect square
+        assert sqrt(nrouters) % 1 == 0
+
+        s.RouterType = RouterType
+        s.nrouters = nrouters
+        s.params = [nrouters, nmsgs, data_nbits, nentries]
+
+        net_msg = NetMsg(nrouters, nmsgs, data_nbits)
+        s.msg_type = net_msg
+        s.in_ = InValRdyBundle[nrouters](net_msg)
+        s.out = OutValRdyBundle[nrouters](net_msg)
+
+        # instantiate routers
+        R = s.RouterType
+        s.routers = [R(x, *s.params) for x in range(s.nrouters)]
+
+        # connect injection terminals
+        for i in range(s.nrouters):
+            s.connect(s.in_[i], s.routers[i].in_[R.TERM])
+            s.connect(s.out[i], s.routers[i].out[R.TERM])
+
+        # connect mesh routers
+        nrouters_1d = int(sqrt(s.nrouters))
+        for j in range(nrouters_1d):
+            for i in range(nrouters_1d):
+                idx = i + j * nrouters_1d
+                cur = s.routers[idx]
+                if i + 1 < nrouters_1d:
+                    east = s.routers[idx + 1]
+                    s.connect(cur.out[R.EAST], east.in_[R.WEST])
+                    s.connect(cur.in_[R.EAST], east.out[R.WEST])
+                if j + 1 < nrouters_1d:
+                    south = s.routers[idx + nrouters_1d]
+                    s.connect(cur.out[R.SOUTH], south.in_[R.NORTH])
+                    s.connect(cur.in_[R.SOUTH], south.out[R.NORTH])
+
+    def line_trace(s):
+        return "|".join(r.line_trace() for r in s.routers)

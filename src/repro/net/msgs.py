@@ -1,0 +1,25 @@
+"""Network message type (paper Figures 10-11's ``NetMsg``)."""
+
+from __future__ import annotations
+
+from ..core import bw, mk_bitstruct
+
+
+def NetMsg(nrouters, nmsgs, data_nbits):
+    """Create a network message BitStruct parameterized like the
+    paper's ``NetMsg(nrouters, nmsgs, payload_nbits)``.
+
+    Fields (MSB first): ``dest``, ``src`` (router ids), ``opaque``
+    (sequence number, ``clog2(nmsgs)`` bits), ``payload``.
+    """
+    id_bits = bw(nrouters)
+    seq_bits = bw(nmsgs)
+    return mk_bitstruct(
+        f"NetMsg_{nrouters}_{nmsgs}_{data_nbits}",
+        [
+            ("dest", id_bits),
+            ("src", id_bits),
+            ("opaque", seq_bits),
+            ("payload", data_nbits),
+        ],
+    )

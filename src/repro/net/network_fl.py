@@ -1,0 +1,67 @@
+"""FL network: functional model, behaviorally an ideal crossbar.
+
+A direct reproduction of paper Figure 10: packets teleport from any
+input to the destination's output FIFO in one cycle.  Resource
+constraints exist only at the interfaces — multiple packets may enter
+one output FIFO per cycle, but only one may leave per cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from math import sqrt
+
+from ..core import InValRdyBundle, Model, OutValRdyBundle
+from .msgs import NetMsg
+
+
+class NetworkFL(Model):
+    """Ideal-crossbar functional network (paper Figure 10)."""
+
+    def __init__(s, nrouters, nmsgs, data_nbits, nentries):
+        # ensure nrouters is a perfect square (mesh-shaped interface)
+        assert sqrt(nrouters) % 1 == 0
+
+        net_msg = NetMsg(nrouters, nmsgs, data_nbits)
+        s.msg_type = net_msg
+        s.nrouters = nrouters
+        s.in_ = InValRdyBundle[nrouters](net_msg)
+        s.out = OutValRdyBundle[nrouters](net_msg)
+
+        s.nentries = nentries
+        s.output_fifos = [deque() for _ in range(nrouters)]
+
+        @s.tick_fl
+        def network_logic():
+            if s.reset:
+                for fifo in s.output_fifos:
+                    fifo.clear()
+                for i in range(s.nrouters):
+                    s.out[i].val.next = 0
+                    s.in_[i].rdy.next = 0
+                return
+
+            # dequeue logic
+            for i, outport in enumerate(s.out):
+                if int(outport.val) and int(outport.rdy):
+                    s.output_fifos[i].popleft()
+
+            # enqueue logic
+            for inport in s.in_:
+                if int(inport.val) and int(inport.rdy):
+                    dest = int(inport.msg.value.dest)
+                    msg = inport.msg.value.to_bits().uint()
+                    s.output_fifos[dest].append(msg)
+
+            # set output signals
+            for i, fifo in enumerate(s.output_fifos):
+                is_full = len(fifo) >= s.nentries
+                is_empty = len(fifo) == 0
+
+                s.out[i].val.next = not is_empty
+                s.in_[i].rdy.next = not is_full
+                if not is_empty:
+                    s.out[i].msg.next = fifo[0]
+
+    def line_trace(s):
+        return "|".join(str(len(f)) for f in s.output_fifos)

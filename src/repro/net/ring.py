@@ -1,0 +1,145 @@
+"""Ring network: a second topology over the same router discipline.
+
+Demonstrates the structural-composition story beyond the paper's mesh
+(Section III-D): a 3-port ring router (terminal, clockwise,
+counter-clockwise) with shortest-direction routing and the same
+elastic-buffer val/rdy flow control, composed into a bidirectional
+ring.  Written in the SimJIT-CL translatable subset like ``RouterCL``.
+
+Known property (faithfully modeled, not a simulator bug): without
+virtual channels or bubble flow control, a ring's channel-dependency
+cycle can deadlock once buffers fill — drive it below saturation
+(uniform-random rates under ~15% at 16 terminals).  The XY-routed mesh
+has no such cycle.  Deadlock-free ring flow control is classic NoC
+material and out of scope for this reproduction.
+"""
+
+from __future__ import annotations
+
+from ..core import InValRdyBundle, Model, OutValRdyBundle
+from .msgs import NetMsg
+
+
+class RouterRingCL(Model):
+    """Cycle-level 3-port ring router with shortest-path routing."""
+
+    TERM = 0
+    CW = 1       # to the next-higher router id
+    CCW = 2      # to the next-lower router id
+    NPORTS = 3
+
+    def __init__(s, router_id, nrouters, nmsgs, data_nbits, nentries):
+        net_msg = NetMsg(nrouters, nmsgs, data_nbits)
+        s.msg_type = net_msg
+        s.in_ = InValRdyBundle[s.NPORTS](net_msg)
+        s.out = OutValRdyBundle[s.NPORTS](net_msg)
+
+        s.router_id = router_id
+        s.nrouters = nrouters
+        s.nentries = nentries
+        dest_lo, dest_hi = net_msg.field_slice("dest")
+        s.dest_shift = dest_lo
+        s.dest_mask = (1 << (dest_hi - dest_lo)) - 1
+
+        s.buf_data = [0] * (s.NPORTS * nentries)
+        s.buf_head = [0] * s.NPORTS
+        s.buf_count = [0] * s.NPORTS
+        s.grants = [-1] * s.NPORTS
+        s.priority = [0] * s.NPORTS
+
+        @s.tick_cl
+        def router_logic():
+            if s.reset.uint():
+                for i in range(s.NPORTS):
+                    s.buf_head[i] = 0
+                    s.buf_count[i] = 0
+                    s.grants[i] = -1
+                    s.in_[i].rdy.next = 0
+                    s.out[i].val.next = 0
+            else:
+                for o in range(s.NPORTS):
+                    if s.out[o].val.uint() and s.out[o].rdy.uint():
+                        src = s.grants[o]
+                        s.buf_head[src] = (s.buf_head[src] + 1) \
+                            % s.nentries
+                        s.buf_count[src] = s.buf_count[src] - 1
+                        s.priority[o] = (src + 1) % s.NPORTS
+
+                for i in range(s.NPORTS):
+                    if s.in_[i].val.uint() and s.in_[i].rdy.uint():
+                        tail = (s.buf_head[i] + s.buf_count[i]) \
+                            % s.nentries
+                        s.buf_data[i * s.nentries + tail] = \
+                            s.in_[i].msg.uint()
+                        s.buf_count[i] = s.buf_count[i] + 1
+
+                claimed = [0] * s.NPORTS
+                for o in range(s.NPORTS):
+                    s.grants[o] = -1
+                    choice = -1
+                    for k in range(s.NPORTS):
+                        i = (s.priority[o] + k) % s.NPORTS
+                        if claimed[i] or s.buf_count[i] == 0 \
+                                or choice >= 0:
+                            continue
+                        head = s.buf_data[i * s.nentries
+                                          + s.buf_head[i]]
+                        dest = (head >> s.dest_shift) & s.dest_mask
+                        # Shortest-direction routing around the ring
+                        # (offset kept non-negative so the modulo is
+                        # portable across Python/C/Verilog semantics).
+                        fwd = (dest - s.router_id + s.nrouters) \
+                            % s.nrouters
+                        if fwd == 0:
+                            route = s.TERM
+                        elif fwd <= s.nrouters // 2:
+                            route = s.CW
+                        else:
+                            route = s.CCW
+                        if route == o:
+                            choice = i
+                    if choice >= 0:
+                        claimed[choice] = 1
+                        s.grants[o] = choice
+                        s.out[o].val.next = 1
+                        s.out[o].msg.next = \
+                            s.buf_data[choice * s.nentries
+                                       + s.buf_head[choice]]
+                    else:
+                        s.out[o].val.next = 0
+
+                for i in range(s.NPORTS):
+                    s.in_[i].rdy.next = s.buf_count[i] < s.nentries
+
+    def line_trace(s):
+        return "".join(str(c) for c in s.buf_count)
+
+
+class RingNetworkStructural(Model):
+    """Bidirectional ring composed of :class:`RouterRingCL` routers."""
+
+    def __init__(s, nrouters, nmsgs, data_nbits, nentries,
+                 RouterType=RouterRingCL):
+        net_msg = NetMsg(nrouters, nmsgs, data_nbits)
+        s.msg_type = net_msg
+        s.nrouters = nrouters
+        s.in_ = InValRdyBundle[nrouters](net_msg)
+        s.out = OutValRdyBundle[nrouters](net_msg)
+
+        R = RouterType
+        s.routers = [
+            R(i, nrouters, nmsgs, data_nbits, nentries)
+            for i in range(nrouters)
+        ]
+        for i in range(nrouters):
+            s.connect(s.in_[i], s.routers[i].in_[R.TERM])
+            s.connect(s.out[i], s.routers[i].out[R.TERM])
+        for i in range(nrouters):
+            nxt = (i + 1) % nrouters
+            s.connect(s.routers[i].out[R.CW],
+                      s.routers[nxt].in_[R.CCW])
+            s.connect(s.routers[i].in_[R.CW],
+                      s.routers[nxt].out[R.CCW])
+
+    def line_trace(s):
+        return "|".join(r.line_trace() for r in s.routers)

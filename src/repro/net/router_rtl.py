@@ -1,0 +1,130 @@
+"""RTL mesh router: input-queued, XY-routed, round-robin arbitrated.
+
+Same architecture as :class:`RouterCL` but at register-transfer level:
+input buffering uses real ``NormalQueue`` instances, the switch is a
+combinational route/arbitrate/crossbar block, and the per-output
+round-robin pointers are explicit registers.  Combinational cycles
+between routers are broken by the queues' registered ``rdy``/``val``.
+"""
+
+from __future__ import annotations
+
+from math import isqrt
+
+from ..components.queues import NormalQueue
+from ..core import InValRdyBundle, Model, OutValRdyBundle, Wire, bw
+from .msgs import NetMsg
+
+
+class RouterRTL(Model):
+    """Register-transfer-level 5-port XY mesh router."""
+
+    TERM = 0
+    NORTH = 1
+    EAST = 2
+    SOUTH = 3
+    WEST = 4
+    NPORTS = 5
+
+    def __init__(s, router_id, nrouters, nmsgs, data_nbits, nentries):
+        net_msg = NetMsg(nrouters, nmsgs, data_nbits)
+        s.msg_type = net_msg
+        s.in_ = InValRdyBundle[s.NPORTS](net_msg)
+        s.out = OutValRdyBundle[s.NPORTS](net_msg)
+
+        s.router_id = router_id
+        s.nrouters = nrouters
+        s.dim = isqrt(nrouters)
+        s.my_x = router_id % s.dim
+        s.my_y = router_id // s.dim
+        s.dest_lo, s.dest_hi = net_msg.field_slice("dest")
+
+        # Input queues.
+        s.queues = [NormalQueue(nentries, net_msg) for _ in range(s.NPORTS)]
+        for i in range(s.NPORTS):
+            s.connect(s.in_[i], s.queues[i].enq)
+
+        # Arbitration state: grant per output, round-robin pointer.
+        s.grant = [Wire(bw(s.NPORTS)) for _ in range(s.NPORTS)]
+        s.grant_val = [Wire(1) for _ in range(s.NPORTS)]
+        s.priority = [Wire(bw(s.NPORTS)) for _ in range(s.NPORTS)]
+
+        @s.combinational
+        def switch_logic():
+            # Route each queue's head packet (XY dimension-ordered,
+            # written inline so the block is SimJIT-translatable).
+            routes = [0] * s.NPORTS
+            for i in range(s.NPORTS):
+                msg = s.queues[i].deq.msg.value.uint()
+                dest = (msg >> s.dest_lo) & \
+                    ((1 << (s.dest_hi - s.dest_lo)) - 1)
+                dest_x = dest % s.dim
+                dest_y = dest // s.dim
+                if dest_x > s.my_x:
+                    routes[i] = s.EAST
+                elif dest_x < s.my_x:
+                    routes[i] = s.WEST
+                elif dest_y > s.my_y:
+                    routes[i] = s.SOUTH
+                elif dest_y < s.my_y:
+                    routes[i] = s.NORTH
+                else:
+                    routes[i] = s.TERM
+
+            claimed = [0] * s.NPORTS
+            for o in range(s.NPORTS):
+                choice = -1
+                for k in range(s.NPORTS):
+                    i = (s.priority[o].uint() + k) % s.NPORTS
+                    if (choice < 0 and claimed[i] == 0
+                            and s.queues[i].deq.val.uint()
+                            and routes[i] == o):
+                        choice = i
+                if choice >= 0:
+                    claimed[choice] = 1
+                    s.grant[o].value = choice
+                    s.grant_val[o].value = 1
+                    s.out[o].val.value = 1
+                    s.out[o].msg.value = s.queues[choice].deq.msg.value
+                else:
+                    s.grant[o].value = 0
+                    s.grant_val[o].value = 0
+                    s.out[o].val.value = 0
+                    s.out[o].msg.value = 0
+
+            # Dequeue-side flow control back into the winning queues.
+            for i in range(s.NPORTS):
+                s.queues[i].deq.rdy.value = 0
+            for o in range(s.NPORTS):
+                if s.grant_val[o].uint():
+                    s.queues[s.grant[o].uint()].deq.rdy.value = \
+                        s.out[o].rdy.value
+
+        @s.tick_rtl
+        def priority_logic():
+            if s.reset:
+                for o in range(s.NPORTS):
+                    s.priority[o].next = 0
+            else:
+                for o in range(s.NPORTS):
+                    if s.grant_val[o].uint() and s.out[o].rdy.uint():
+                        s.priority[o].next = \
+                            (s.grant[o].uint() + 1) % s.NPORTS
+
+    def route(s, dest):
+        """XY dimension-ordered routing (same policy as RouterCL)."""
+        dest = int(dest)
+        dest_x = dest % s.dim
+        dest_y = dest // s.dim
+        if dest_x > s.my_x:
+            return s.EAST
+        if dest_x < s.my_x:
+            return s.WEST
+        if dest_y > s.my_y:
+            return s.SOUTH
+        if dest_y < s.my_y:
+            return s.NORTH
+        return s.TERM
+
+    def line_trace(s):
+        return "".join(str(int(q.count)) for q in s.queues)

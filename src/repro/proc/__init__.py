@@ -1,0 +1,27 @@
+"""Processor substrate: MinRISC ISA, assembler, and FL/CL/RTL
+processor implementations."""
+
+from .assembler import AssemblerError, assemble, disassemble
+from .harness import ProcHarness, run_program
+from .isa import (
+    XCEL_GO,
+    XCEL_SIZE,
+    XCEL_SRC0,
+    XCEL_SRC1,
+    Instr,
+    alu,
+    branch_taken,
+    decode,
+    encode,
+)
+from .proc_cl import ProcCL
+from .proc_fl import IsaSim, ProcFL
+from .proc_rtl import ProcRTL
+
+__all__ = [
+    "Instr", "encode", "decode", "alu", "branch_taken",
+    "XCEL_GO", "XCEL_SIZE", "XCEL_SRC0", "XCEL_SRC1",
+    "assemble", "disassemble", "AssemblerError",
+    "IsaSim", "ProcFL", "ProcCL", "ProcRTL",
+    "ProcHarness", "run_program",
+]

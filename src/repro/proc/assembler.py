@@ -1,0 +1,219 @@
+"""Two-pass assembler for MinRISC.
+
+Accepts the usual tiny-assembler conventions:
+
+- one instruction per line, ``#`` comments, blank lines ignored;
+- labels as ``name:`` (optionally on their own line);
+- registers written ``r0``..``r31``;
+- memory operands written ``imm(rN)``;
+- branch targets may be labels (encoded PC-relative, word offsets) or
+  literal integers;
+- jump targets may be labels (encoded as absolute word addresses) or
+  literal integers;
+- pseudo-instructions: ``nop``, ``mv rd, rs``, ``li rd, imm`` (expands
+  to ``lui``+``ori`` when the constant needs it).
+
+Example::
+
+    asm = '''
+        li   r1, 10
+    loop:
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+    '''
+    words = assemble(asm)
+"""
+
+from __future__ import annotations
+
+import re
+
+from .isa import I_TYPE, J_TYPE, OPCODES, R_TYPE, Instr, encode
+
+
+class AssemblerError(Exception):
+    """Raised on malformed assembly input."""
+
+
+_MEM_OPERAND = re.compile(r"^(-?\w+)\((r\d+)\)$")
+
+
+def _parse_reg(token, line):
+    if not re.fullmatch(r"r\d+", token):
+        raise AssemblerError(f"bad register {token!r} in: {line}")
+    num = int(token[1:])
+    if not 0 <= num < 32:
+        raise AssemblerError(f"register out of range in: {line}")
+    return num
+
+
+def _parse_imm(token, labels, line, pc=None, relative=False):
+    if token in labels:
+        target = labels[token]
+        if relative:
+            return target - (pc + 1)
+        return target
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(
+            f"bad immediate or unknown label {token!r} in: {line}"
+        ) from None
+
+
+def _tokenize(line):
+    code = line.split("#", 1)[0].strip()
+    if not code:
+        return None, []
+    parts = code.replace(",", " ").split()
+    return parts[0].lower(), parts[1:]
+
+
+def _expand_pseudo(op, args, line):
+    """Expand a pseudo-instruction into real instruction tuples."""
+    if op == "nop":
+        return [("addi", ["r0", "r0", "0"])]
+    if op == "mv":
+        if len(args) != 2:
+            raise AssemblerError(f"mv takes 2 operands: {line}")
+        return [("addi", [args[0], args[1], "0"])]
+    if op == "li":
+        if len(args) != 2:
+            raise AssemblerError(f"li takes 2 operands: {line}")
+        try:
+            value = int(args[1], 0) & 0xFFFFFFFF
+        except ValueError:
+            raise AssemblerError(f"li needs a constant: {line}") from None
+        if value < 0x8000:
+            return [("addi", [args[0], "r0", str(value)])]
+        expansion = [("lui", [args[0], "r0", str(value >> 16)])]
+        if value & 0xFFFF:
+            expansion.append(
+                ("ori", [args[0], args[0], str(value & 0xFFFF)])
+            )
+        return expansion
+    return [(op, args)]
+
+
+def assemble(source):
+    """Assemble MinRISC source text into a list of 32-bit words."""
+    # Pass 1: expand pseudos, collect labels.
+    program = []     # (op, args, source_line)
+    labels = {}
+    for raw_line in source.splitlines():
+        line = raw_line.strip()
+        while True:
+            match = re.match(r"^(\w+):\s*(.*)$", line)
+            if not match:
+                break
+            labels[match.group(1)] = len(program)
+            line = match.group(2)
+        op, args = _tokenize(line)
+        if op is None:
+            continue
+        if op not in OPCODES and op not in ("nop", "mv", "li"):
+            raise AssemblerError(f"unknown instruction {op!r}: {raw_line}")
+        for real_op, real_args in _expand_pseudo(op, args, line):
+            program.append((real_op, real_args, raw_line.strip()))
+
+    # Pass 2: encode.
+    words = []
+    for pc, (op, args, line) in enumerate(program):
+        words.append(encode(_build_instr(op, args, labels, pc, line)))
+    return words
+
+
+def _build_instr(op, args, labels, pc, line):
+    if op in R_TYPE:
+        if len(args) != 3:
+            raise AssemblerError(f"{op} takes 3 operands: {line}")
+        return Instr(op, rd=_parse_reg(args[0], line),
+                     rs1=_parse_reg(args[1], line),
+                     rs2=_parse_reg(args[2], line))
+
+    if op in ("lw", "sw"):
+        if len(args) != 2:
+            raise AssemblerError(f"{op} takes 2 operands: {line}")
+        match = _MEM_OPERAND.match(args[1])
+        if not match:
+            raise AssemblerError(f"{op} needs imm(reg) operand: {line}")
+        imm = _parse_imm(match.group(1), labels, line)
+        base = _parse_reg(match.group(2), line)
+        return Instr(op, rd=_parse_reg(args[0], line), rs1=base, imm=imm)
+
+    if op in ("beq", "bne", "blt", "bge"):
+        if len(args) != 3:
+            raise AssemblerError(f"{op} takes 3 operands: {line}")
+        offset = _parse_imm(args[2], labels, line, pc=pc, relative=True)
+        return Instr(op, rd=_parse_reg(args[1], line),
+                     rs1=_parse_reg(args[0], line), imm=offset)
+
+    if op in J_TYPE:
+        if len(args) != 1:
+            raise AssemblerError(f"{op} takes 1 operand: {line}")
+        return Instr(op, imm=_parse_imm(args[0], labels, line))
+
+    if op == "jr":
+        if len(args) != 1:
+            raise AssemblerError(f"jr takes 1 operand: {line}")
+        return Instr(op, rs1=_parse_reg(args[0], line))
+
+    if op == "xcel":
+        if len(args) != 3:
+            raise AssemblerError(f"xcel takes 3 operands: {line}")
+        return Instr(op, rd=_parse_reg(args[0], line),
+                     rs1=_parse_reg(args[1], line),
+                     imm=_parse_imm(args[2], labels, line))
+
+    if op == "halt":
+        return Instr(op)
+
+    if op in I_TYPE:   # plain ALU immediates
+        if len(args) != 3:
+            raise AssemblerError(f"{op} takes 3 operands: {line}")
+        return Instr(op, rd=_parse_reg(args[0], line),
+                     rs1=_parse_reg(args[1], line),
+                     imm=_parse_imm(args[2], labels, line))
+
+    raise AssemblerError(f"unhandled instruction {op!r}: {line}")
+
+
+def disassemble(words, base=0):
+    """Disassemble a word list into annotated assembly text.
+
+    Branch targets are rendered as absolute word addresses (the
+    assembler's label information is gone); unknown encodings become
+    ``.word`` directives so any memory image round-trips to text.
+    """
+    from .isa import J_TYPE, R_TYPE, decode
+
+    lines = []
+    for i, word in enumerate(words):
+        pc = base + 4 * i
+        try:
+            instr = decode(word)
+        except ValueError:
+            lines.append(f"{pc:08x}:  .word 0x{word:08x}")
+            continue
+        op = instr.op
+        if op in ("beq", "bne", "blt", "bge"):
+            target = pc + 4 + instr.imm * 4
+            text = (f"{op} r{instr.rs1}, r{instr.rd}, "
+                    f"0x{target & 0xFFFFFFFF:x}")
+        elif op in ("lw", "sw"):
+            text = f"{op} r{instr.rd}, {instr.imm}(r{instr.rs1})"
+        elif op in J_TYPE:
+            text = f"{op} 0x{instr.imm * 4:x}"
+        elif op == "jr":
+            text = f"jr r{instr.rs1}"
+        elif op == "xcel":
+            text = f"xcel r{instr.rd}, r{instr.rs1}, {instr.imm}"
+        elif op == "halt":
+            text = "halt"
+        elif op in R_TYPE:
+            text = f"{op} r{instr.rd}, r{instr.rs1}, r{instr.rs2}"
+        else:
+            text = f"{op} r{instr.rd}, r{instr.rs1}, {instr.imm}"
+        lines.append(f"{pc:08x}:  {text}")
+    return "\n".join(lines)

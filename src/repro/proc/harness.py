@@ -1,0 +1,50 @@
+"""Processor test harness: processor + magic memory composition."""
+
+from __future__ import annotations
+
+from ..core import Model, SimulationTool
+from ..mem.test_memory import TestMemory
+
+
+class ProcHarness(Model):
+    """A processor wired to a two-port magic memory (imem + dmem).
+
+    The coprocessor interface is left unconnected; programs that use
+    ``xcel`` need the full tile (see :mod:`repro.accel.tile`).
+    """
+
+    def __init__(s, proc, mem_latency=1, mem_size=1 << 20):
+        s.proc = proc
+        s.mem = TestMemory(nports=2, latency=mem_latency, size=mem_size)
+        s.connect(s.proc.imem_ifc.req, s.mem.ports[0].req)
+        s.connect(s.proc.imem_ifc.resp, s.mem.ports[0].resp)
+        s.connect(s.proc.dmem_ifc.req, s.mem.ports[1].req)
+        s.connect(s.proc.dmem_ifc.resp, s.mem.ports[1].resp)
+
+    def line_trace(s):
+        return s.proc.line_trace()
+
+
+def run_program(proc_cls, words, data=None, max_cycles=100_000,
+                mem_latency=1):
+    """Assemble-and-run helper.
+
+    Loads ``words`` at address 0 (and optional ``data`` dict of
+    addr -> word), runs until the processor reports done, and returns
+    ``(harness, ncycles)``.
+    """
+    harness = ProcHarness(proc_cls(), mem_latency=mem_latency)
+    harness.elaborate()
+    harness.mem.load(0, words)
+    for addr, value in (data or {}).items():
+        harness.mem.write_word(addr, value)
+    sim = SimulationTool(harness)
+    sim.reset()
+    while not int(harness.proc.done):
+        sim.cycle()
+        if sim.ncycles > max_cycles:
+            raise AssertionError(
+                f"program did not halt within {max_cycles} cycles "
+                f"(pc={harness.proc.line_trace()})"
+            )
+    return harness, sim.ncycles

@@ -1,0 +1,181 @@
+"""MinRISC: a minimal 32-bit RISC ISA for the processor case studies.
+
+The paper's tile experiments use a simple 5-stage RISC processor; we
+define a compact RISC ISA ("MinRISC") rich enough to run real kernels
+(matrix-vector multiplication, loops, function calls) and to drive the
+accelerator coprocessor.
+
+Encoding (32-bit fixed width):
+
+    R-type:  opcode[31:26] rd[25:21] rs1[20:16] rs2[15:11] 0[10:0]
+    I-type:  opcode[31:26] rd[25:21] rs1[20:16] imm16[15:0]
+    J-type:  opcode[31:26] imm26[25:0]
+
+32 general-purpose registers; ``r0`` is hardwired to zero.  Branches
+are PC-relative with a signed word offset; jumps are absolute word
+addresses.  ``xcel rd, rs1, imm`` sends a message to the accelerator
+coprocessor interface (ctrl_msg = imm, data = R[rs1]); when imm == 0
+("go") the processor blocks until the accelerator responds and the
+result is written to ``rd``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+NUM_REGS = 32
+LINK_REG = 31
+
+# Opcode assignments (6-bit).
+OPCODES = {
+    # R-type ALU
+    "add": 0x00, "sub": 0x01, "and": 0x02, "or": 0x03, "xor": 0x04,
+    "slt": 0x05, "sltu": 0x06, "sll": 0x07, "srl": 0x08, "sra": 0x09,
+    "mul": 0x0A,
+    # I-type ALU
+    "addi": 0x10, "andi": 0x11, "ori": 0x12, "xori": 0x13,
+    "slti": 0x14, "slli": 0x15, "srli": 0x16, "lui": 0x17,
+    # memory
+    "lw": 0x20, "sw": 0x21,
+    # control flow
+    "beq": 0x30, "bne": 0x31, "blt": 0x32, "bge": 0x33,
+    "j": 0x34, "jal": 0x35, "jr": 0x36,
+    # coprocessor + misc
+    "xcel": 0x38,
+    "halt": 0x3F,
+}
+
+OPCODE_NAMES = {v: k for k, v in OPCODES.items()}
+
+R_TYPE = {"add", "sub", "and", "or", "xor", "slt", "sltu",
+          "sll", "srl", "sra", "mul"}
+I_TYPE = {"addi", "andi", "ori", "xori", "slti", "slli", "srli", "lui",
+          "lw", "sw", "beq", "bne", "blt", "bge", "xcel"}
+J_TYPE = {"j", "jal"}
+
+# Accelerator protocol control-message ids (paper Figures 7-8).
+XCEL_GO = 0
+XCEL_SIZE = 1
+XCEL_SRC0 = 2
+XCEL_SRC1 = 3
+
+
+@dataclass
+class Instr:
+    """A decoded instruction."""
+
+    op: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0        # sign-extended I-type immediate or J-type target
+
+    def __str__(self):
+        if self.op in R_TYPE:
+            return f"{self.op} r{self.rd}, r{self.rs1}, r{self.rs2}"
+        if self.op in I_TYPE:
+            return f"{self.op} r{self.rd}, r{self.rs1}, {self.imm}"
+        if self.op in J_TYPE:
+            return f"{self.op} {self.imm}"
+        if self.op == "jr":
+            return f"jr r{self.rs1}"
+        return self.op
+
+
+def encode(instr):
+    """Encode an :class:`Instr` into a 32-bit word."""
+    op = instr.op
+    if op not in OPCODES:
+        raise ValueError(f"unknown opcode {op!r}")
+    word = OPCODES[op] << 26
+    if op in R_TYPE or op == "jr":
+        word |= (instr.rd & 0x1F) << 21
+        word |= (instr.rs1 & 0x1F) << 16
+        word |= (instr.rs2 & 0x1F) << 11
+    elif op in I_TYPE:
+        word |= (instr.rd & 0x1F) << 21
+        word |= (instr.rs1 & 0x1F) << 16
+        word |= instr.imm & 0xFFFF
+    elif op in J_TYPE:
+        word |= instr.imm & 0x3FFFFFF
+    return word
+
+
+def decode(word):
+    """Decode a 32-bit word into an :class:`Instr`."""
+    opcode = (word >> 26) & 0x3F
+    if opcode not in OPCODE_NAMES:
+        raise ValueError(f"cannot decode word {word:#010x}: bad opcode")
+    op = OPCODE_NAMES[opcode]
+    rd = (word >> 21) & 0x1F
+    rs1 = (word >> 16) & 0x1F
+    rs2 = (word >> 11) & 0x1F
+    imm16 = word & 0xFFFF
+    if imm16 >= 0x8000:
+        imm16 -= 0x10000
+    imm26 = word & 0x3FFFFFF
+    if op in R_TYPE or op == "jr":
+        return Instr(op, rd=rd, rs1=rs1, rs2=rs2)
+    if op in I_TYPE:
+        return Instr(op, rd=rd, rs1=rs1, imm=imm16)
+    if op in J_TYPE:
+        return Instr(op, imm=imm26)
+    return Instr(op)
+
+
+def _s32(value):
+    """Interpret a 32-bit value as signed."""
+    value &= 0xFFFFFFFF
+    return value - 0x100000000 if value >= 0x80000000 else value
+
+
+def alu(op, a, b):
+    """The ALU shared by every processor implementation.
+
+    ``a``/``b`` are 32-bit unsigned values; the result is 32-bit
+    unsigned.  Raises on unknown ops so decoders fail loudly.
+    """
+    a &= 0xFFFFFFFF
+    b &= 0xFFFFFFFF
+    if op in ("andi", "ori", "xori"):
+        # Logical immediates are zero-extended (MIPS-style); the
+        # decoder sign-extends all 16-bit immediates, so undo that.
+        b &= 0xFFFF
+    if op in ("add", "addi", "lw", "sw"):
+        return (a + b) & 0xFFFFFFFF
+    if op == "sub":
+        return (a - b) & 0xFFFFFFFF
+    if op in ("and", "andi"):
+        return a & b
+    if op in ("or", "ori"):
+        return a | b
+    if op in ("xor", "xori"):
+        return a ^ b
+    if op in ("slt", "slti"):
+        return 1 if _s32(a) < _s32(b) else 0
+    if op == "sltu":
+        return 1 if a < b else 0
+    if op in ("sll", "slli"):
+        return (a << (b & 31)) & 0xFFFFFFFF
+    if op in ("srl", "srli"):
+        return a >> (b & 31)
+    if op == "sra":
+        return (_s32(a) >> (b & 31)) & 0xFFFFFFFF
+    if op == "mul":
+        return (a * b) & 0xFFFFFFFF
+    if op == "lui":
+        return (b << 16) & 0xFFFFFFFF
+    raise ValueError(f"alu: unknown op {op!r}")
+
+
+def branch_taken(op, a, b):
+    """Branch resolution shared by every processor implementation."""
+    if op == "beq":
+        return a == b
+    if op == "bne":
+        return a != b
+    if op == "blt":
+        return _s32(a) < _s32(b)
+    if op == "bge":
+        return _s32(a) >= _s32(b)
+    raise ValueError(f"branch_taken: unknown op {op!r}")

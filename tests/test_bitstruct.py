@@ -1,0 +1,156 @@
+"""Unit tests for BitStruct message types."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import Bits, BitStruct, Field, mk_bitstruct
+
+
+class MemReqMsg(BitStruct):
+    type_ = Field(1)
+    addr = Field(32)
+    data = Field(32)
+
+
+class NestedMsg(BitStruct):
+    header = Field(MemReqMsg)
+    crc = Field(8)
+
+
+def test_total_width():
+    assert MemReqMsg.nbits == 65
+
+
+def test_field_offsets_msb_first():
+    # First declared field occupies the most-significant bits.
+    assert MemReqMsg.field_slice("type_") == (64, 65)
+    assert MemReqMsg.field_slice("addr") == (32, 64)
+    assert MemReqMsg.field_slice("data") == (0, 32)
+
+
+def test_field_read_write():
+    msg = MemReqMsg()
+    msg.type_ = 1
+    msg.addr = 0x1000
+    msg.data = 0xDEADBEEF
+    assert msg.type_ == 1
+    assert msg.addr == 0x1000
+    assert msg.data == 0xDEADBEEF
+
+
+def test_field_write_truncates():
+    msg = MemReqMsg()
+    msg.type_ = 3           # only 1 bit wide
+    assert msg.type_ == 1
+
+
+def test_pack_unpack_roundtrip():
+    msg = MemReqMsg()
+    msg.type_ = 1
+    msg.addr = 0xABCD
+    msg.data = 42
+    packed = msg.to_bits()
+    assert isinstance(packed, Bits)
+    again = MemReqMsg(packed)
+    assert again.addr == 0xABCD
+    assert again.data == 42
+    assert again.type_ == 1
+
+
+def test_construct_from_int():
+    msg = MemReqMsg(0)
+    assert msg.addr == 0
+
+
+def test_construct_from_other_struct():
+    msg = MemReqMsg()
+    msg.data = 7
+    copy = MemReqMsg(msg)
+    assert copy.data == 7
+
+
+def test_field_returns_bits_of_right_width():
+    msg = MemReqMsg()
+    assert msg.addr.nbits == 32
+    assert msg.type_.nbits == 1
+
+
+def test_nested_struct_field():
+    assert NestedMsg.nbits == 65 + 8
+    msg = NestedMsg()
+    msg.crc = 0x5A
+    header = MemReqMsg()
+    header.addr = 0x42
+    msg.header = header
+    assert msg.crc == 0x5A
+    assert msg.header.addr == 0x42
+    assert isinstance(msg.header, MemReqMsg)
+
+
+def test_equality_and_hash():
+    a, b = MemReqMsg(), MemReqMsg()
+    a.data = 9
+    b.data = 9
+    assert a == b
+    assert hash(a) == hash(b)
+    b.data = 10
+    assert a != b
+
+
+def test_eq_against_int():
+    msg = MemReqMsg(5)
+    assert msg == 5
+
+
+def test_int_conversion():
+    msg = MemReqMsg()
+    msg.data = 3
+    assert int(msg) == 3
+
+
+def test_repr_mentions_fields():
+    text = repr(MemReqMsg())
+    assert "addr" in text and "data" in text
+
+
+def test_field_names():
+    assert MemReqMsg.field_names() == ["type_", "addr", "data"]
+
+
+def test_field_slice_unknown_raises():
+    with pytest.raises(AttributeError):
+        MemReqMsg.field_slice("nope")
+
+
+def test_bad_field_width_raises():
+    with pytest.raises(ValueError):
+        Field(0)
+
+
+def test_mk_bitstruct():
+    Msg = mk_bitstruct("Msg", [("dest", 4), ("payload", 8)])
+    assert Msg.nbits == 12
+    m = Msg()
+    m.dest = 3
+    m.payload = 0xFF
+    assert m.to_bits().uint() == (3 << 8) | 0xFF
+
+
+@given(st.integers(min_value=0, max_value=1), st.integers(min_value=0),
+       st.integers(min_value=0))
+def test_prop_pack_fields_roundtrip(type_, addr, data):
+    msg = MemReqMsg()
+    msg.type_ = type_
+    msg.addr = addr
+    msg.data = data
+    again = MemReqMsg(msg.to_bits())
+    assert again.type_ == type_ & 1
+    assert again.addr == addr & 0xFFFFFFFF
+    assert again.data == data & 0xFFFFFFFF
+
+
+@given(st.integers(min_value=0, max_value=(1 << 65) - 1))
+def test_prop_unpack_pack_identity(raw):
+    msg = MemReqMsg(Bits(65, raw))
+    assert msg.to_bits().uint() == raw

@@ -1,0 +1,239 @@
+"""Unit tests for elaboration: naming, nets, connectors, sensitivity."""
+
+import pytest
+
+from repro import (
+    ElaborationError,
+    InPort,
+    Model,
+    OutPort,
+    SimulationTool,
+    Wire,
+)
+
+
+class _Pass(Model):
+    def __init__(s, nbits=8):
+        s.in_ = InPort(nbits)
+        s.out = OutPort(nbits)
+        s.connect(s.in_, s.out)
+
+
+class _Wrapper(Model):
+    def __init__(s):
+        s.in_ = InPort(8)
+        s.out = OutPort(8)
+        s.inner = _Pass()
+        s.connect(s.in_, s.inner.in_)
+        s.connect(s.inner.out, s.out)
+
+
+def test_names_assigned():
+    model = _Wrapper().elaborate()
+    assert model.name == "top"
+    assert model.inner.name == "inner"
+    assert model.inner.full_name() == "top.inner"
+    assert model.in_.name == "in_"
+    assert model.inner.out.parent is model.inner
+
+
+def test_submodels_registered():
+    model = _Wrapper().elaborate()
+    assert model.get_submodels() == [model.inner]
+
+
+def test_full_connection_merges_nets():
+    model = _Wrapper().elaborate()
+    assert model.in_._net is model.inner.in_._net
+    assert model.out._net is model.inner.out._net
+
+
+def test_connected_value_propagates_without_sim():
+    model = _Wrapper().elaborate()
+    model.in_.value = 99
+    assert model.inner.in_.value == 99
+
+
+def test_clk_reset_propagate():
+    model = _Wrapper().elaborate()
+    assert model.reset._net is model.inner.reset._net
+    assert model.clk._net is model.inner.clk._net
+
+
+def test_width_mismatch_raises():
+    class Bad(Model):
+        def __init__(s):
+            s.a = Wire(8)
+            s.b = Wire(4)
+            s.connect(s.a, s.b)
+
+    with pytest.raises(ElaborationError):
+        Bad().elaborate()
+
+
+def test_connect_rejects_junk():
+    class Bad(Model):
+        def __init__(s):
+            s.a = Wire(8)
+            s.connect(s.a, "nope")
+
+    with pytest.raises(TypeError):
+        Bad()
+
+
+def test_connect_two_constants_rejected():
+    model = Model()
+    with pytest.raises(TypeError):
+        model.connect(1, 2)
+
+
+def test_constant_tie():
+    class Tied(Model):
+        def __init__(s):
+            s.out = OutPort(8)
+            s.mid = Wire(8)
+            s.connect(s.mid, 0x5A)
+            s.connect(s.mid, s.out)
+
+    model = Tied().elaborate()
+    SimulationTool(model)
+    assert model.out == 0x5A
+
+
+def test_constant_too_wide_raises():
+    class Fits(Model):
+        def __init__(s):
+            s.out = OutPort(3)
+            s.connect(s.out, 7)     # fits
+
+    Fits().elaborate()
+
+    class TooWide(Model):
+        def __init__(s):
+            s.out = OutPort(2)
+            s.connect(s.out, 7)     # does not fit
+
+    with pytest.raises(ElaborationError):
+        TooWide().elaborate()
+
+
+def test_slice_connection():
+    class SliceConn(Model):
+        def __init__(s):
+            s.in_ = InPort(8)
+            s.lo = OutPort(4)
+            s.hi = OutPort(4)
+            s.connect(s.in_[0:4], s.lo)
+            s.connect(s.in_[4:8], s.hi)
+
+    model = SliceConn().elaborate()
+    sim = SimulationTool(model)
+    model.in_.value = 0xAB
+    sim.eval_combinational()
+    assert model.lo == 0xB
+    assert model.hi == 0xA
+
+
+def test_slice_connection_into_child():
+    class Child(Model):
+        def __init__(s):
+            s.in_ = InPort(4)
+            s.out = OutPort(4)
+            s.connect(s.in_, s.out)
+
+    class Parent(Model):
+        def __init__(s):
+            s.in_ = InPort(8)
+            s.out = OutPort(4)
+            s.child = Child()
+            s.connect(s.in_[2:6], s.child.in_)
+            s.connect(s.child.out, s.out)
+
+    model = Parent().elaborate()
+    sim = SimulationTool(model)
+    model.in_.value = 0b0011_1100
+    sim.eval_combinational()
+    assert model.out == 0xF
+
+
+def test_slice_width_mismatch_raises():
+    class Bad(Model):
+        def __init__(s):
+            s.a = Wire(8)
+            s.b = Wire(8)
+            s.connect(s.a[0:4], s.b)
+
+    with pytest.raises(ElaborationError):
+        Bad().elaborate()
+
+
+def test_sensitivity_includes_dynamic_index():
+    from repro import bw
+
+    class Mux(Model):
+        def __init__(s, nports=4):
+            s.in_ = InPort[nports](8)
+            s.sel = InPort(bw(nports))
+            s.out = OutPort(8)
+
+            @s.combinational
+            def logic():
+                s.out.value = s.in_[s.sel.uint()].value
+
+    model = Mux().elaborate()
+    blk = model.get_comb_blocks()[0]
+    nets = {sig._net for sig in blk.signals}
+    assert model.sel._net in nets
+    for port in model.in_:
+        assert port._net in nets
+
+
+def test_elaborate_idempotent():
+    model = _Wrapper().elaborate()
+    nets_before = len(model._all_nets)
+    model.elaborate()
+    assert len(model._all_nets) == nets_before
+
+
+def test_model_level_tags():
+    class Fl(Model):
+        def __init__(s):
+            s.out = OutPort(1)
+
+            @s.tick_fl
+            def logic():
+                pass
+
+    class Cl(Model):
+        def __init__(s):
+            s.out = OutPort(1)
+
+            @s.tick_cl
+            def logic():
+                pass
+
+    assert Fl().level() == "fl"
+    assert Cl().level() == "cl"
+    assert _Pass().level() == "struct"
+
+
+def test_connect_auto_pairs_by_name():
+    class Dpath(Model):
+        def __init__(s):
+            s.status = OutPort(4)
+            s.control = InPort(4)
+
+    class Ctrl(Model):
+        def __init__(s):
+            s.status = InPort(4)
+            s.control = OutPort(4)
+
+    class Top(Model):
+        def __init__(s):
+            s.dpath = Dpath()
+            s.ctrl = Ctrl()
+            s.connect_auto(s.dpath, s.ctrl)
+
+    model = Top().elaborate()
+    assert model.dpath.status._net is model.ctrl.status._net
+    assert model.dpath.control._net is model.ctrl.control._net

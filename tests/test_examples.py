@@ -1,0 +1,36 @@
+"""Smoke tests: every example script must run to completion.
+
+The examples double as end-to-end integration tests of the public API
+surface (the paper's Figure 3 flow from model to tools to outputs).
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+EXAMPLES = [
+    "quickstart.py",
+    "dotprod_accelerator.py",
+    "mesh_network.py",
+    "simjit_demo.py",
+    "translate_to_verilog.py",
+    "auto_specialize_tile.py",
+    "memory_over_network.py",
+]
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True, text=True, timeout=560,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stdout[-2000:]}\n"
+        f"{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script} produced no output"

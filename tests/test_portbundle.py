@@ -1,0 +1,126 @@
+"""Unit tests for port bundles and their connection semantics."""
+
+import pytest
+
+from repro import (
+    ChildReqRespBundle,
+    InPort,
+    InValRdyBundle,
+    Model,
+    OutPort,
+    OutValRdyBundle,
+    ParentReqRespBundle,
+    ReqRespMsgTypes,
+    SimulationTool,
+)
+from repro.mem import MemMsg
+
+
+def test_invalrdy_directions():
+    bundle = InValRdyBundle(8)
+    assert isinstance(bundle.msg, InPort)
+    assert isinstance(bundle.val, InPort)
+    assert isinstance(bundle.rdy, OutPort)
+
+
+def test_outvalrdy_directions():
+    bundle = OutValRdyBundle(8)
+    assert isinstance(bundle.msg, OutPort)
+    assert isinstance(bundle.val, OutPort)
+    assert isinstance(bundle.rdy, InPort)
+
+
+def test_bundle_array_shorthand():
+    bundles = InValRdyBundle[3](8)
+    assert len(bundles) == 3
+    assert all(isinstance(b, InValRdyBundle) for b in bundles)
+
+
+def test_named_signals():
+    bundle = InValRdyBundle(8)
+    names = dict(bundle.get_named_signals())
+    assert set(names) == {"msg", "val", "rdy"}
+
+
+def test_reqresp_bundle_structure():
+    ifc = MemMsg()
+    child = ChildReqRespBundle(ifc)
+    parent = ParentReqRespBundle(ifc)
+    # child receives requests, parent sends them.
+    assert isinstance(child.req_msg, InPort)
+    assert isinstance(child.resp_msg, OutPort)
+    assert isinstance(parent.req_msg, OutPort)
+    assert isinstance(parent.resp_msg, InPort)
+    # flat aliases share the bundle signals.
+    assert child.req_msg is child.req.msg
+    assert parent.resp_rdy is parent.resp.rdy
+
+
+def test_reqresp_named_signals_have_no_alias_duplicates():
+    bundle = ChildReqRespBundle(MemMsg())
+    names = [name for name, _ in bundle.get_named_signals()]
+    assert len(names) == len(set(names)) == 6
+
+
+def test_bundle_to_bundle_connect():
+    class Top(Model):
+        def __init__(s):
+            s.a = OutValRdyBundle(8)
+            s.b = InValRdyBundle(8)
+            s.connect(s.a, s.b)
+
+    model = Top().elaborate()
+    assert model.a.msg._net is model.b.msg._net
+    assert model.a.val._net is model.b.val._net
+    assert model.a.rdy._net is model.b.rdy._net
+
+
+def test_parent_child_reqresp_connect_and_simulate():
+    """A parent requester and a child responder wired bundle-to-bundle
+    must see each other's signals."""
+    ifc = MemMsg()
+
+    class Top(Model):
+        def __init__(s):
+            s.parent = ParentReqRespBundle(ifc)
+            s.child = ChildReqRespBundle(ifc)
+            s.connect(s.parent.req, s.child.req)
+            s.connect(s.child.resp, s.parent.resp)
+
+    model = Top().elaborate()
+    SimulationTool(model)
+    model.parent.req_val.value = 1
+    assert int(model.child.req_val) == 1
+    model.child.resp_msg.value = 0x42
+    assert int(model.parent.resp_msg) == 0x42
+
+
+def test_mismatched_bundles_rejected():
+    class Bad(Model):
+        def __init__(s):
+            s.a = OutValRdyBundle(8)
+            s.b = ChildReqRespBundle(MemMsg())
+            s.connect(s.a, s.b)
+
+    with pytest.raises(TypeError):
+        Bad()
+
+
+def test_valrdy_trace_states():
+    bundle = OutValRdyBundle(8)
+    bundle.msg.name = "msg"
+    # idle
+    assert bundle.to_str().strip() == ""
+    # stalled (val, no rdy)
+    bundle.val.value = 1
+    assert "#" in bundle.to_str()
+    # firing
+    bundle.rdy.value = 1
+    bundle.msg.value = 0xAB
+    assert "ab" in bundle.to_str()
+
+
+def test_reqresp_msg_types_holder():
+    types = ReqRespMsgTypes(int, str)
+    assert types.req is int
+    assert types.resp is str

@@ -1,0 +1,188 @@
+"""Unit tests for signals, slices, and struct-typed ports."""
+
+import pytest
+
+from repro import (
+    Bits,
+    BitStruct,
+    Field,
+    InPort,
+    Model,
+    OutPort,
+    SimulationTool,
+    Wire,
+)
+
+
+class PairMsg(BitStruct):
+    hi = Field(8)
+    lo = Field(8)
+
+
+def test_port_width_from_int():
+    assert InPort(8).nbits == 8
+
+
+def test_port_width_from_bits_prototype():
+    assert InPort(Bits(12)).nbits == 12
+
+
+def test_port_width_from_bitstruct():
+    assert InPort(PairMsg).nbits == 16
+
+
+def test_port_array_shorthand():
+    ports = InPort[4](8)
+    assert len(ports) == 4
+    assert all(isinstance(p, InPort) and p.nbits == 8 for p in ports)
+
+
+def test_value_read_write_before_simulation():
+    w = Wire(8)
+    w.value = 42
+    assert w.value == 42
+    assert isinstance(w.value, Bits)
+
+
+def test_value_write_masks():
+    w = Wire(4)
+    w.value = 0x1F
+    assert w.value == 0xF
+
+
+def test_next_is_write_only():
+    w = Wire(8)
+    with pytest.raises(AttributeError):
+        _ = w.next
+
+
+def test_struct_port_returns_struct_view():
+    p = Wire(PairMsg)
+    p.value = (0xAB << 8) | 0xCD
+    assert isinstance(p.value, PairMsg)
+    assert p.value.hi == 0xAB
+    assert p.value.lo == 0xCD
+
+
+def test_struct_field_access_on_signal():
+    p = Wire(PairMsg)
+    p.value = (0xAB << 8) | 0xCD
+    assert p.hi.value == 0xAB
+    assert p.lo.value == 0xCD
+
+
+def test_struct_field_write_on_signal():
+    p = Wire(PairMsg)
+    p.hi.value = 0x12
+    p.lo.value = 0x34
+    assert p.value.to_bits().uint() == 0x1234
+
+
+def test_slice_read_write():
+    w = Wire(8)
+    w.value = 0xAB
+    assert w[0:4].value == 0xB
+    w[0:4].value = 0x5
+    assert w.value == 0xA5
+
+
+def test_single_bit_access():
+    w = Wire(8)
+    w.value = 0b1000_0000
+    assert w[7].value == 1
+    assert w[0].value == 0
+    w[0].value = 1
+    assert w.value == 0b1000_0001
+
+
+def test_nested_slice():
+    w = Wire(16)
+    w.value = 0xABCD
+    assert w[8:16][0:4].value == 0xB
+
+
+def test_operator_forwarding():
+    w = Wire(8)
+    w.value = 10
+    assert w + 1 == 11
+    assert w - 1 == 9
+    assert w * 2 == 20
+    assert (w << 1) == 20
+    assert (w >> 1) == 5
+    assert (w & 0xF) == 10
+    assert (w | 0x10) == 0x1A
+    assert (w ^ 0xFF) == 0xF5
+    assert w == 10
+    assert w != 11
+    assert w < 11
+    assert w > 9
+    assert w <= 10
+    assert w >= 10
+    assert int(w) == 10
+    assert bool(w)
+
+
+def test_signal_to_signal_comparison():
+    a, b = Wire(8), Wire(8)
+    a.value = 5
+    b.value = 5
+    assert a == b
+    b.value = 6
+    assert a < b
+
+
+def test_out_of_range_bit_index_raises():
+    with pytest.raises(IndexError):
+        Wire(8)[8]
+
+
+def test_unknown_attribute_raises():
+    with pytest.raises(AttributeError):
+        Wire(8).no_such_field
+
+
+class _SlicePipeline(Model):
+    """Register with slice writes via .next from a tick block."""
+
+    def __init__(s):
+        s.in_ = InPort(8)
+        s.out = OutPort(8)
+
+        @s.tick_rtl
+        def logic():
+            s.out[0:4].next = s.in_[4:8].value
+            s.out[4:8].next = s.in_[0:4].value
+
+
+def test_slice_next_writes_compose():
+    model = _SlicePipeline().elaborate()
+    sim = SimulationTool(model)
+    sim.reset()
+    model.in_.value = 0xAB
+    sim.cycle()
+    assert model.out == 0xBA
+
+
+class _StructPorts(Model):
+    """Struct-typed ports with field access in behavioral blocks."""
+
+    def __init__(s):
+        s.in_ = InPort(PairMsg)
+        s.out = OutPort(PairMsg)
+
+        @s.combinational
+        def swap():
+            s.out.hi.value = s.in_.lo.value
+            s.out.lo.value = s.in_.hi.value
+
+
+def test_struct_field_access_in_comb_block():
+    model = _StructPorts().elaborate()
+    sim = SimulationTool(model)
+    msg = PairMsg()
+    msg.hi = 0x11
+    msg.lo = 0x22
+    model.in_.value = msg
+    sim.eval_combinational()
+    assert model.out.value.hi == 0x22
+    assert model.out.value.lo == 0x11

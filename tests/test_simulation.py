@@ -1,0 +1,236 @@
+"""Unit tests for the SimulationTool."""
+
+import pytest
+
+from repro import (
+    InPort,
+    Model,
+    OutPort,
+    SimulationError,
+    SimulationTool,
+    Wire,
+)
+
+
+class _Counter(Model):
+    def __init__(s, nbits=8):
+        s.en = InPort(1)
+        s.count = OutPort(nbits)
+
+        @s.tick_rtl
+        def logic():
+            if s.reset:
+                s.count.next = 0
+            elif s.en:
+                s.count.next = s.count + 1
+
+
+def test_counter_counts():
+    model = _Counter().elaborate()
+    sim = SimulationTool(model)
+    sim.reset()
+    assert model.count == 0
+    model.en.value = 1
+    sim.run(5)
+    assert model.count == 5
+    model.en.value = 0
+    sim.run(3)
+    assert model.count == 5
+
+
+def test_counter_wraps():
+    model = _Counter(nbits=2).elaborate()
+    sim = SimulationTool(model)
+    sim.reset()
+    model.en.value = 1
+    sim.run(5)
+    assert model.count == 1
+
+
+def test_ncycles_tracks():
+    model = _Counter().elaborate()
+    sim = SimulationTool(model)
+    sim.reset()
+    sim.run(10)
+    assert sim.ncycles == 12     # 2 reset cycles + 10
+
+
+def test_reset_idiom():
+    model = _Counter().elaborate()
+    sim = SimulationTool(model)
+    model.en.value = 1
+    sim.run(3)
+    sim.reset()
+    assert model.count == 0
+    assert model.reset == 0
+
+
+class _CombChain(Model):
+    """Three chained combinational blocks — fixpoint must settle all."""
+
+    def __init__(s):
+        s.in_ = InPort(8)
+        s.out = OutPort(8)
+        s.a = Wire(8)
+        s.b = Wire(8)
+
+        @s.combinational
+        def one():
+            s.a.value = s.in_ + 1
+
+        @s.combinational
+        def two():
+            s.b.value = s.a + 1
+
+        @s.combinational
+        def three():
+            s.out.value = s.b + 1
+
+
+def test_comb_chain_settles():
+    model = _CombChain().elaborate()
+    sim = SimulationTool(model)
+    model.in_.value = 10
+    sim.eval_combinational()
+    assert model.out == 13
+    model.in_.value = 20
+    sim.eval_combinational()
+    assert model.out == 23
+
+
+def test_comb_not_reexecuted_when_value_unchanged():
+    calls = []
+
+    class Watch(Model):
+        def __init__(s):
+            s.in_ = InPort(8)
+            s.out = OutPort(8)
+
+            @s.combinational
+            def logic():
+                calls.append(1)
+                s.out.value = s.in_.value
+
+    model = Watch().elaborate()
+    sim = SimulationTool(model)
+    sim.eval_combinational()
+    baseline = len(calls)
+    model.in_.value = 0      # same value: no event
+    sim.eval_combinational()
+    assert len(calls) == baseline
+
+
+class _CombLoop(Model):
+    """Oscillating combinational loop: a = ~b, b = a."""
+
+    def __init__(s):
+        s.a = Wire(1)
+        s.b = Wire(1)
+
+        @s.combinational
+        def one():
+            s.a.value = ~s.b.value
+
+        @s.combinational
+        def two():
+            s.b.value = s.a.value
+
+
+def test_comb_loop_detected():
+    model = _CombLoop().elaborate()
+    with pytest.raises(SimulationError, match="loop"):
+        sim = SimulationTool(model)
+        sim.eval_combinational()
+
+
+class _TwoStage(Model):
+    """Two registers back to back: data takes two cycles."""
+
+    def __init__(s):
+        s.in_ = InPort(8)
+        s.out = OutPort(8)
+        s.mid = Wire(8)
+
+        @s.tick_rtl
+        def stage1():
+            s.mid.next = s.in_.value
+
+        @s.tick_rtl
+        def stage2():
+            s.out.next = s.mid.value
+
+
+def test_pipeline_latency_two_cycles():
+    model = _TwoStage().elaborate()
+    sim = SimulationTool(model)
+    sim.reset()
+    model.in_.value = 7
+    sim.cycle()
+    assert model.out == 0
+    sim.cycle()
+    assert model.out == 7
+
+
+def test_tick_sees_pre_edge_values():
+    """Both stages read old state: classic shift-register semantics,
+    independent of tick execution order."""
+    model = _TwoStage().elaborate()
+    sim = SimulationTool(model)
+    sim.reset()
+    model.in_.value = 1
+    sim.cycle()
+    model.in_.value = 2
+    sim.cycle()
+    assert model.mid == 2
+    assert model.out == 1
+
+
+class _RegCombReg(Model):
+    """reg -> comb -> reg: comb must re-settle after the flop."""
+
+    def __init__(s):
+        s.in_ = InPort(8)
+        s.out = OutPort(8)
+        s.r1 = Wire(8)
+        s.doubled = Wire(8)
+
+        @s.tick_rtl
+        def front():
+            s.r1.next = s.in_.value
+
+        @s.combinational
+        def double():
+            s.doubled.value = s.r1 + s.r1
+
+        @s.tick_rtl
+        def back():
+            s.out.next = s.doubled.value
+
+
+def test_comb_between_registers():
+    model = _RegCombReg().elaborate()
+    sim = SimulationTool(model)
+    sim.reset()
+    model.in_.value = 5
+    sim.cycle()      # r1 <- 5, doubled settles to 10
+    sim.cycle()      # out <- 10
+    assert model.out == 10
+
+
+def test_line_trace_runs(capsys):
+    class Traced(Model):
+        def __init__(s):
+            s.out = OutPort(4)
+
+            @s.tick_rtl
+            def logic():
+                s.out.next = s.out + 1
+
+        def line_trace(s):
+            return f"out={int(s.out)}"
+
+    model = Traced().elaborate()
+    sim = SimulationTool(model, line_trace=True)
+    sim.cycle()
+    captured = capsys.readouterr()
+    assert "out=" in captured.out
