@@ -241,6 +241,40 @@ def write_result(name, text):
     return path
 
 
+def git_sha():
+    """Short commit sha of the working tree, or "unknown"."""
+    import subprocess
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(__file__), capture_output=True,
+            text=True, timeout=10,
+        )
+        sha = out.stdout.strip()
+        return sha if out.returncode == 0 and sha else "unknown"
+    except OSError:
+        return "unknown"
+
+
+def write_json_result(name, results, **extra):
+    """Persist machine-readable benchmark output as ``BENCH_<name>.json``.
+
+    ``results`` is a list of measurement dicts (design, mode,
+    cycles_per_sec, ...); the envelope stamps the git sha so numbers
+    stay attributable after the fact.
+    """
+    import json
+    payload = {"bench": name, "git_sha": git_sha(), "results": results}
+    payload.update(extra)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\n[json] {path}")
+    return path
+
+
 def format_table(title, headers, rows):
     widths = [
         max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows

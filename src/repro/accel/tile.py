@@ -108,16 +108,17 @@ def _maybe_jit(component, enable):
 
 
 def run_tile(levels, words, data=None, max_cycles=2_000_000,
-             mem_latency=2, progress=None, jit=False):
+             mem_latency=2, progress=None, jit=False, sched="auto"):
     """Build a tile, load a program + data, run to completion.
 
-    Returns ``(tile, ncycles)``.
+    ``sched`` selects the simulator's scheduling mode (see
+    :class:`SimulationTool`).  Returns ``(tile, ncycles)``.
     """
     tile = Tile(levels, mem_latency=mem_latency, jit=jit).elaborate()
     tile.mem.load(0, words)
     for addr, value in (data or {}).items():
         tile.mem.write_word(addr, value)
-    sim = SimulationTool(tile)
+    sim = SimulationTool(tile, sched=sched)
     sim.reset()
     while not int(tile.proc.done):
         sim.cycle()

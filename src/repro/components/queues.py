@@ -52,26 +52,26 @@ class NormalQueue(Model):
                 do_enq = s.enq.val.uint() and s.enq.rdy.uint()
                 do_deq = s.deq.val.uint() and s.deq.rdy.uint()
                 if do_enq:
-                    s.entries[s.enq_ptr.uint()].next = s.enq.msg.value
+                    s.entries[s.enq_ptr.uint()].next = s.enq.msg.uint()
                     if s.enq_ptr.uint() == s.nentries - 1:
                         s.enq_ptr.next = 0
                     else:
-                        s.enq_ptr.next = s.enq_ptr + 1
+                        s.enq_ptr.next = s.enq_ptr.uint() + 1
                 if do_deq:
                     if s.deq_ptr.uint() == s.nentries - 1:
                         s.deq_ptr.next = 0
                     else:
-                        s.deq_ptr.next = s.deq_ptr + 1
+                        s.deq_ptr.next = s.deq_ptr.uint() + 1
                 if do_enq and not do_deq:
-                    s.count.next = s.count + 1
+                    s.count.next = s.count.uint() + 1
                 elif do_deq and not do_enq:
-                    s.count.next = s.count - 1
+                    s.count.next = s.count.uint() - 1
 
         @s.combinational
         def comb_logic():
             s.enq.rdy.value = s.count.uint() != s.nentries
             s.deq.val.value = s.count.uint() != 0
-            s.deq.msg.value = s.entries[s.deq_ptr.uint()].value
+            s.deq.msg.value = s.entries[s.deq_ptr.uint()].uint()
 
     def line_trace(s):
         return f"({int(s.count)}/{s.nentries})"
@@ -97,14 +97,14 @@ class BypassQueue(Model):
                 do_enq = s.enq.val.uint() and s.enq.rdy.uint()
                 do_deq = s.deq.val.uint() and s.deq.rdy.uint()
                 if do_enq and not do_deq:
-                    s.entry.next = s.enq.msg.value
+                    s.entry.next = s.enq.msg.uint()
                     s.full.next = 1
                 elif do_deq and s.full.uint() and not do_enq:
                     s.full.next = 0
                 elif do_enq and do_deq and not s.full.uint():
                     s.full.next = 0
                 elif do_enq and do_deq and s.full.uint():
-                    s.entry.next = s.enq.msg.value
+                    s.entry.next = s.enq.msg.uint()
                     s.full.next = 1
 
         @s.combinational
@@ -112,10 +112,10 @@ class BypassQueue(Model):
             s.enq.rdy.value = not s.full.uint()
             if s.full.uint():
                 s.deq.val.value = 1
-                s.deq.msg.value = s.entry.value
+                s.deq.msg.value = s.entry.uint()
             else:
-                s.deq.val.value = s.enq.val.value
-                s.deq.msg.value = s.enq.msg.value
+                s.deq.val.value = s.enq.val.uint()
+                s.deq.msg.value = s.enq.msg.uint()
 
     def line_trace(s):
         return "F" if int(s.full) else "."

@@ -11,10 +11,33 @@ tools (simulator, translator, SimJIT) consume:
 4. slice connections and constant ties become directional *connector*
    specs (the driver inferred from port kinds and hierarchy);
 5. each ``@combinational`` block gets a sensitivity list inferred by
-   static AST analysis of the signals it reads.
+   static AST analysis of the signals it reads, plus precise
+   read/write sets used by the simulator's static scheduling pass.
 
 The result is stored on the top model: ``_all_models``, ``_all_signals``,
 ``_all_nets``, ``_connectors``, ``_const_ties``.
+
+Sensitivity vs. read/write analysis
+-----------------------------------
+
+Two related analyses run over each combinational block's AST:
+
+- the *sensitivity list* (``blk.signals``) drives the event-driven
+  simulator: the block re-executes when any listed signal's net
+  changes.  It deliberately over-approximates — e.g. a write to
+  ``s.enq.rdy.value`` leaves the ``s.enq`` prefix in the list, so the
+  whole bundle counts as read — because extra triggers only cost
+  re-execution, never correctness.
+- the *read/write sets* (``blk.reads`` / ``blk.writes``) feed the
+  static scheduler, which needs them tight: phantom bundle-prefix
+  "reads" would manufacture cycles in the block dataflow graph (a
+  queue's ``rdy`` driver would appear to read the very handshake it
+  drives).  Reads therefore exclude pure assignment-target prefixes,
+  and writes resolve every statically-visible assignment target.
+  When a block's writes cannot be bounded statically (writes through
+  local aliases, calls into non-signal model attributes, unavailable
+  source), ``blk.writes_known`` is False and the simulator schedules
+  the block event-driven.
 """
 
 from __future__ import annotations
@@ -72,7 +95,9 @@ def elaborate(top):
     for model in all_models:
         for blk in model._comb_blocks:
             if not blk.signals:
-                blk.signals = _infer_sensitivity(blk)
+                _analyze_block(blk)
+        for blk in model._tick_blocks:
+            _analyze_tick(blk)
 
     top._all_models = all_models
     top._all_signals = all_signals
@@ -221,56 +246,123 @@ def _infer_driver(model, left, right):
     return left, right
 
 
-# -- sensitivity inference ----------------------------------------------------------
+# -- sensitivity + read/write inference ---------------------------------------
 
 
-def _infer_sensitivity(blk):
-    """Infer the signals a combinational block reads.
+def _analyze_block(blk):
+    """Infer sensitivity (``blk.signals``) and the precise read/write
+    sets (``blk.reads``/``blk.writes``/``blk.writes_known``) of a
+    combinational block.
 
     Parses the block's source and collects every attribute/subscript
-    chain rooted at the model reference that is read (Load context).
-    Dynamic indices widen to every element of the indexed list.  Falls
-    back to all input ports and wires of the model when source is not
-    available.
+    chain rooted at the model reference.  Dynamic indices widen to
+    every element of the indexed list (a sound superset for both reads
+    and writes).  Falls back to all input ports and wires — with the
+    read/write sets marked unknown — when source is not available.
     """
     model = blk.model
+    blk.reads = []
+    blk.writes = []
+    blk.writes_known = False
     try:
         src = textwrap.dedent(inspect.getsource(blk.func))
         tree = ast.parse(src)
     except (OSError, TypeError, SyntaxError):
-        return _fallback_sensitivity(model)
+        blk.signals = _fallback_sensitivity(model)
+        return
 
     func_def = tree.body[0]
     if not isinstance(func_def, (ast.FunctionDef, ast.AsyncFunctionDef)):
-        return _fallback_sensitivity(model)
+        blk.signals = _fallback_sensitivity(model)
+        return
 
     root_names = _model_ref_names(blk.func, model)
     if not root_names:
-        return _fallback_sensitivity(model)
+        blk.signals = _fallback_sensitivity(model)
+        return
 
-    # Signals assigned by this block must not be in its own sensitivity
-    # list (a comb block writing a net mid-execution would re-trigger
-    # itself forever on the intermediate value).
+    # -- assignment targets: write paths + target spines ------------------
+    #
+    # The "spine" of a target like ``s.enq.rdy.value`` is the chain of
+    # attribute/subscript nodes down to the root name.  Its inner nodes
+    # carry Load context, so the plain read walk would count ``s.enq``
+    # as a read of the whole bundle — a phantom read that must not
+    # reach the precise read set.  Subscript *index* expressions are
+    # not part of the spine; they are genuine reads.
+    tainted = _tainted_locals(func_def, root_names)
     write_paths = set()
+    writes_known = True
+    spine_ids = set()
     for node in ast.walk(func_def):
-        targets = []
         if isinstance(node, ast.Assign):
-            targets = node.targets
-        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
-            targets = [node.target]
-        for target in targets:
+            targets, plain = node.targets, True
+        elif isinstance(node, ast.AnnAssign):
+            targets, plain = [node.target], True
+        elif isinstance(node, ast.AugAssign):
+            # Augmented assignment reads its target: keep the spine
+            # visible to the read walk.
+            targets, plain = [node.target], False
+        else:
+            continue
+        for target in _flatten_targets(targets):
+            if isinstance(target, ast.Name):
+                continue            # local variable: no signal write
             path = _extract_path(target, root_names, any_ctx=True)
-            if path is not None:
-                write_paths.add(path)
-    written = set()
-    for path in write_paths:
-        written.update(id(sig) for sig in _resolve_path(model, path))
+            if path is None:
+                root = _root_name(target)
+                if root is not None and root not in tainted:
+                    # Subscript/attribute write into a pure local
+                    # container (``routes[i] = ...``): no signal write.
+                    continue
+                # Write through a possible alias of a model object; the
+                # written signal (if any) is not statically visible.
+                writes_known = False
+                continue
+            write_paths.add(path)
+            if plain:
+                _mark_spine(target, spine_ids)
 
-    paths = set()
+    # -- calls: method calls on non-signal model attributes may write -----
+    #
+    # Calls through bare names (``int``, ``len``, ``concat``, module
+    # helpers) are assumed pure, as are value-accessor calls that
+    # resolve to a signal (``s.count.uint()``).  A call on a
+    # model-rooted path that does *not* resolve to signals (``s.helper()``,
+    # ``s.buf.popleft()``) may write anything — as may a non-accessor
+    # method call on a local that aliases a model object: writes
+    # become unknown.
+    for node in ast.walk(func_def):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)):
+            continue
+        path = _extract_path(node.func, root_names, any_ctx=True)
+        if path is None:
+            root = _root_name(node.func)
+            if (root is not None and root in tainted
+                    and node.func.attr not in _VALUE_ATTRS):
+                writes_known = False
+            continue
+        resolved = _resolve_path(model, path)
+        if not resolved:
+            writes_known = False
+
+    written = set()
+    writes = []
+    for path in write_paths:
+        for sig in _resolve_path(model, path):
+            if id(sig) not in written:
+                written.add(id(sig))
+                writes.append(sig)
+
+    # -- read walk ---------------------------------------------------------
+    paths = set()           # every load path (legacy sensitivity)
+    precise_paths = set()   # loads that are not assignment-target spines
     for node in ast.walk(func_def):
         path = _extract_path(node, root_names)
         if path is not None:
             paths.add(path)
+            if id(node) not in spine_ids:
+                precise_paths.add(path)
 
     signals = []
     seen = set()
@@ -279,9 +371,295 @@ def _infer_sensitivity(blk):
             if id(sig) not in seen and id(sig) not in written:
                 seen.add(id(sig))
                 signals.append(sig)
+
+    # Reads exclude self-written signals, mirroring the event
+    # simulator's semantics: a block that writes a signal and reads it
+    # back sees its own just-written value (write-before-read), which
+    # is sequential Python, not combinational feedback.
+    reads = []
+    seen_reads = set()
+    for path in precise_paths:
+        for sig in _resolve_path(model, path):
+            if id(sig) not in seen_reads and id(sig) not in written:
+                seen_reads.add(id(sig))
+                reads.append(sig)
+
     if not signals:
-        return _fallback_sensitivity(model)
-    return signals
+        # Nothing statically readable: mirror the event simulator's
+        # conservative fallback and keep the block out of the static
+        # schedule.
+        blk.signals = _fallback_sensitivity(model)
+        return
+    blk.signals = signals
+    blk.reads = reads
+    blk.writes = writes
+    blk.writes_known = writes_known
+
+
+def _infer_sensitivity(blk):
+    """Legacy entry point: return the sensitivity list only."""
+    _analyze_block(blk)
+    return blk.signals
+
+
+_CONST_TYPES = (int, float, bool, str, bytes, type(None), type)
+
+
+def _analyze_tick(blk):
+    """Decide whether a tick block is *gateable*: a pure function of a
+    statically-known signal read set, writing only signals.
+
+    A gateable tick whose reads are unchanged since its last execution
+    would recompute exactly the same writes, so the simulator's static
+    mode may skip it — the bulk of per-cycle time in large designs is
+    idle registers re-evaluating to themselves.  The analysis is
+    deliberately conservative: any construct that could smuggle state
+    across invocations (reads of non-signal model attributes, writes
+    through aliases, generator/coroutine bodies, bare references to the
+    model object) leaves ``gateable`` False and the block runs every
+    cycle, exactly as in event mode.
+    """
+    blk.reads = []
+    blk.writes = []
+    blk.gateable = False
+    model = blk.model
+    try:
+        src = textwrap.dedent(inspect.getsource(blk.func))
+        tree = ast.parse(src)
+    except (OSError, TypeError, SyntaxError):
+        return
+    func_def = tree.body[0]
+    if not isinstance(func_def, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        return
+    # The ``@s.tick_*`` decorator would read as a bound-method access
+    # on the model: not part of the block's body.
+    func_def.decorator_list = []
+    root_names = _model_ref_names(blk.func, model)
+    if not root_names:
+        return
+
+    # Chain-base nodes: the ``.value`` child of every attribute /
+    # subscript node.  A path is classified only at its maximal node;
+    # inner prefixes (bundles, submodels) are covered by the outer
+    # chain.  A root name used *outside* any chain passes the whole
+    # model somewhere we cannot see: reject.
+    chain_bases = set()
+    for node in ast.walk(func_def):
+        if isinstance(node, (ast.Attribute, ast.Subscript)):
+            chain_bases.add(id(node.value))
+    for node in ast.walk(func_def):
+        if isinstance(node, (ast.Yield, ast.YieldFrom, ast.Await,
+                             ast.Global, ast.Nonlocal, ast.Lambda,
+                             ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node is not func_def:
+                return
+        if (isinstance(node, ast.Name) and node.id in root_names
+                and id(node) not in chain_bases):
+            return
+
+    tainted = _tainted_locals(func_def, root_names)
+
+    # Any dereference of a local that may alias a model object makes
+    # the read set unreliable: reject outright.
+    for node in ast.walk(func_def):
+        if isinstance(node, (ast.Attribute, ast.Subscript)):
+            root = _root_name(node)
+            if root is not None and root in tainted:
+                return
+
+    # -- writes ------------------------------------------------------------
+    write_paths = set()
+    spine_ids = set()
+    for node in ast.walk(func_def):
+        if isinstance(node, ast.Assign):
+            targets, plain = node.targets, True
+        elif isinstance(node, ast.AnnAssign):
+            targets, plain = [node.target], True
+        elif isinstance(node, ast.AugAssign):
+            targets, plain = [node.target], False
+        else:
+            continue
+        for target in _flatten_targets(targets):
+            if isinstance(target, ast.Name):
+                continue
+            path = _extract_path(target, root_names, any_ctx=True)
+            if path is None:
+                root = _root_name(target)
+                if root is not None and root not in tainted:
+                    continue        # pure local container write
+                return              # write through a possible alias
+            # Only registered updates are gateable: a ``.value`` write
+            # (or a rebind of a model container slot) takes effect
+            # immediately and may interleave with other writers.
+            if not (isinstance(target, ast.Attribute)
+                    and target.attr == "next"):
+                return
+            write_paths.add(path)
+            if plain:
+                _mark_spine(target, spine_ids)
+
+    # -- calls must be pure ------------------------------------------------
+    for node in ast.walk(func_def):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name):
+            continue                # bare-name call: assumed pure
+        if not isinstance(func, ast.Attribute):
+            return
+        path = _extract_path(func, root_names, any_ctx=True)
+        if path is not None:
+            if not _resolve_path(model, path):
+                return              # method on non-signal model state
+            continue
+        root = _root_name(func)
+        if (root is not None and root in tainted
+                and func.attr not in _VALUE_ATTRS):
+            return
+
+    writes = []
+    written = set()
+    for path in write_paths:
+        sigs = _resolve_path(model, path)
+        if not sigs:
+            return                  # writes plain model state
+        for sig in sigs:
+            if id(sig) not in written:
+                written.add(id(sig))
+                writes.append(sig)
+
+    # -- reads: every maximal model-rooted path must resolve to signals
+    #    or immutable constants -------------------------------------------
+    reads = []
+    seen = set()
+    for node in ast.walk(func_def):
+        if id(node) in chain_bases or id(node) in spine_ids:
+            continue
+        path = _extract_path(node, root_names)
+        if path is None:
+            continue
+        objs = _walk_path(model, path)
+        if not objs:
+            return                  # unresolvable (dynamic attribute)
+        sigs = []
+        for obj in objs:
+            if isinstance(obj, _SignalSlice):
+                sigs.append(obj.signal)
+            elif isinstance(obj, Signal):
+                sigs.append(obj)
+            elif isinstance(obj, PortBundle):
+                sigs.extend(obj.get_signals())
+            elif isinstance(obj, list):
+                if not all(isinstance(s, Signal) for s in obj):
+                    return
+                sigs.extend(obj)
+            elif not isinstance(obj, _CONST_TYPES):
+                return              # mutable non-signal state
+        for sig in sigs:
+            if id(sig) not in seen:
+                seen.add(id(sig))
+                reads.append(sig)
+
+    blk.reads = reads
+    blk.writes = writes
+    blk.gateable = True
+
+
+def _flatten_targets(targets):
+    """Expand tuple/list/starred assignment targets into leaves."""
+    leaves = []
+    stack = list(targets)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.Tuple, ast.List)):
+            stack.extend(node.elts)
+        elif isinstance(node, ast.Starred):
+            stack.append(node.value)
+        else:
+            leaves.append(node)
+    return leaves
+
+
+def _mark_spine(target, spine_ids):
+    """Record the attribute/subscript chain of an assignment target so
+    the read walk can skip it (indices stay readable)."""
+    cur = target
+    while isinstance(cur, (ast.Attribute, ast.Subscript)):
+        spine_ids.add(id(cur))
+        cur = cur.value
+
+
+def _root_name(node):
+    """The root ``Name`` id of an attribute/subscript chain, or None
+    when the chain is rooted in something else (a call result, etc.)."""
+    cur = node
+    while isinstance(cur, (ast.Attribute, ast.Subscript)):
+        cur = cur.value
+    return cur.id if isinstance(cur, ast.Name) else None
+
+
+def _tainted_locals(func_def, root_names):
+    """Local names that may alias model-owned objects (signals,
+    bundles, submodels).
+
+    A write through an untainted local (``routes[i] = ...``) is a pure
+    Python container update; a write through a tainted one may reach a
+    signal, so the caller must treat the block's write set as unknown.
+    Taint flows from model-rooted paths, call results (conservative),
+    other tainted names, and ``for`` targets whose iterable is not a
+    plain ``range``/``enumerate``/``zip`` over untainted values.
+    """
+    def expr_taints(node, tainted):
+        if isinstance(node, (ast.Attribute, ast.Subscript)):
+            root = _root_name(node)
+            return root is None or root in root_names or root in tainted
+        if isinstance(node, ast.Name):
+            return node.id in root_names or node.id in tainted
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in (
+                    "range", "enumerate", "zip", "len", "min", "max",
+                    "int", "bool", "abs"):
+                return any(expr_taints(a, tainted) for a in node.args)
+            return True
+        if isinstance(node, ast.IfExp):
+            return (expr_taints(node.body, tainted)
+                    or expr_taints(node.orelse, tainted))
+        if isinstance(node, (ast.Tuple, ast.List)):
+            return any(expr_taints(e, tainted) for e in node.elts)
+        if isinstance(node, ast.Starred):
+            return expr_taints(node.value, tainted)
+        return False
+
+    tainted = set()
+    # Flow-insensitive fixpoint: taint propagates through chained
+    # local assignments regardless of statement order.
+    while True:
+        before = len(tainted)
+        for node in ast.walk(func_def):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                value = node.value
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+            elif isinstance(node, ast.NamedExpr):
+                value, targets = node.value, [node.target]
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                value, targets = node.iter, [node.target]
+            elif isinstance(node, ast.comprehension):
+                value, targets = node.iter, [node.target]
+            elif isinstance(node, (ast.withitem,)):
+                if node.optional_vars is None:
+                    continue
+                value, targets = node.context_expr, [node.optional_vars]
+            else:
+                continue
+            if value is None or not expr_taints(value, tainted):
+                continue
+            for target in _flatten_targets(targets):
+                if isinstance(target, ast.Name):
+                    tainted.add(target.id)
+        if len(tainted) == before:
+            return tainted
 
 
 def _model_ref_names(func, model):
@@ -339,9 +717,9 @@ def _extract_path(node, root_names, any_ctx=False):
             return None
 
 
-def _resolve_path(model, path):
+def _walk_path(model, path):
     """Resolve an access path against the live model, returning the
-    signals it touches."""
+    raw objects it reaches."""
     objs = [model]
     for kind, key in path:
         next_objs = []
@@ -364,9 +742,14 @@ def _resolve_path(model, path):
                     elif isinstance(key, int) and key < len(obj):
                         next_objs.append(obj[key])
         objs = next_objs
+    return objs
 
+
+def _resolve_path(model, path):
+    """Resolve an access path against the live model, returning the
+    signals it touches."""
     signals = []
-    for obj in objs:
+    for obj in _walk_path(model, path):
         if isinstance(obj, _SignalSlice):
             signals.append(obj.signal)
         elif isinstance(obj, Signal):

@@ -41,12 +41,17 @@ from .signals import InPort, OutPort, Signal, Wire, _SignalSlice
 class _TickBlock:
     """A sequential logic block plus its abstraction-level tag."""
 
-    __slots__ = ("func", "level", "model")
+    __slots__ = ("func", "level", "model", "reads", "writes", "gateable")
 
     def __init__(self, func, level, model):
         self.func = func
         self.level = level        # 'fl' | 'cl' | 'rtl'
         self.model = model
+        self.reads = []           # signals read (when statically known)
+        self.writes = []          # signals written (when statically known)
+        self.gateable = False     # True when the block is a pure function
+                                  # of `reads` and may be skipped while
+                                  # they are unchanged
 
     @property
     def name(self):
@@ -54,14 +59,19 @@ class _TickBlock:
 
 
 class _CombBlock:
-    """A combinational logic block; sensitivity resolved at elaboration."""
+    """A combinational logic block; sensitivity and read/write sets
+    resolved at elaboration."""
 
-    __slots__ = ("func", "model", "signals")
+    __slots__ = ("func", "model", "signals", "reads", "writes",
+                 "writes_known")
 
     def __init__(self, func, model):
         self.func = func
         self.model = model
         self.signals = []         # sensitivity list, filled by elaborator
+        self.reads = []           # precise read set (static scheduling)
+        self.writes = []          # statically-visible written signals
+        self.writes_known = False  # True when `writes` bounds all writes
 
     @property
     def name(self):

@@ -1,0 +1,310 @@
+"""Static scheduling for the pure-Python simulator.
+
+The event-driven simulator pays per-event dispatch on every
+combinational settle: each changing net walks its sensitivity list,
+re-enqueues blocks through a queue, and re-runs them until fixpoint.
+For the (common) acyclic part of a design the evaluation order can be
+computed once, at simulator construction:
+
+1. build the block-level dataflow graph — block ``u`` precedes block
+   ``v`` when ``u`` writes a net ``v`` reads (write sets come from the
+   elaborator's AST analysis, see :mod:`.elaboration`);
+2. find strongly connected components; blocks in cyclic SCCs, and
+   blocks whose write set is not statically bounded, fall back to the
+   event-driven fixpoint;
+3. topologically levelize the rest into a *static schedule*: one
+   in-order sweep settles them, each block executing at most once per
+   settle phase.
+
+At runtime, changed nets mark their static readers in a dense
+``bytearray`` (C-speed, no queue churn), and the sweep runs exactly
+the marked blocks in dependency order.  When the whole design is
+static, :func:`generate_kernel` additionally ``exec``-compiles one
+flat "mega-cycle" function that inlines the sweep, the tick-block
+calls, and the flop loop into a single closure with every lookup bound
+to locals.
+"""
+
+from __future__ import annotations
+
+
+class StaticSchedule:
+    """Partition of a design's combinational blocks into a levelized
+    static order plus an event-driven remainder."""
+
+    __slots__ = ("order", "levels", "event_funcs", "demoted",
+                 "reader_slots")
+
+    def __init__(self, order, levels, event_funcs, demoted, reader_slots):
+        self.order = order              # funcs, topological order
+        self.levels = levels            # level of each func in `order`
+        self.event_funcs = event_funcs  # funcs needing the event fixpoint
+        self.demoted = demoted          # subset of event_funcs demoted
+                                        # from the graph (cyclic SCCs)
+        self.reader_slots = reader_slots  # net -> tuple of order slots
+
+    @property
+    def nlevels(self):
+        return (self.levels[-1] + 1) if self.levels else 0
+
+    def describe(self):
+        return {
+            "static_blocks": len(self.order),
+            "event_blocks": len(self.event_funcs),
+            "demoted_cyclic": len(self.demoted),
+            "levels": self.nlevels,
+        }
+
+
+def build_schedule(infos):
+    """Build a :class:`StaticSchedule` from block descriptions.
+
+    ``infos`` is a list of ``(func, reads, writes, known)`` tuples
+    where ``reads``/``writes`` are collections of net objects and
+    ``known`` states that ``writes`` bounds every net the block can
+    write.  Blocks with ``known=False`` go straight to the event
+    partition; cyclic SCCs among the rest are demoted per-SCC.
+    """
+    n = len(infos)
+    known = [i for i in range(n) if infos[i][3]]
+    known_set = set(known)
+
+    # net -> known-block readers, for edge construction.
+    readers_of = {}
+    for i in known:
+        for net in infos[i][1]:
+            readers_of.setdefault(id(net), []).append(i)
+
+    succ = [()] * n
+    for u in known:
+        out = set()
+        for net in infos[u][2]:
+            for v in readers_of.get(id(net), ()):
+                if v in known_set:
+                    out.add(v)
+        succ[u] = tuple(sorted(out))
+
+    static_nodes, demoted_nodes = _partition_cyclic(known, succ)
+
+    # Levelize the static subgraph (longest-path level, Kahn-style).
+    static_set = set(static_nodes)
+    level = {i: 0 for i in static_nodes}
+    indeg = {i: 0 for i in static_nodes}
+    for u in static_nodes:
+        for v in succ[u]:
+            if v in static_set and v != u:
+                indeg[v] += 1
+    ready = sorted(i for i in static_nodes if indeg[i] == 0)
+    order_idx = []
+    queue = list(ready)
+    qpos = 0
+    while qpos < len(queue):
+        u = queue[qpos]
+        qpos += 1
+        order_idx.append(u)
+        for v in succ[u]:
+            if v in static_set and v != u:
+                if level[v] < level[u] + 1:
+                    level[v] = level[u] + 1
+                indeg[v] -= 1
+                if indeg[v] == 0:
+                    queue.append(v)
+    assert len(order_idx) == len(static_nodes), \
+        "levelization failed on an acyclic subgraph"
+    # Stable order: by (level, declaration index) so runs are
+    # reproducible regardless of set iteration order.
+    order_idx.sort(key=lambda i: (level[i], i))
+
+    order = [infos[i][0] for i in order_idx]
+    levels = [level[i] for i in order_idx]
+    event_funcs = [infos[i][0] for i in range(n)
+                   if i not in static_set]
+    demoted = [infos[i][0] for i in demoted_nodes]
+
+    # net -> slots in `order` that must re-run when the net changes.
+    slot_of = {infos[i][0]: slot for slot, i in
+               ((s, order_idx[s]) for s in range(len(order_idx)))}
+    reader_slots = {}
+    for i in order_idx:
+        func = infos[i][0]
+        for net in infos[i][1]:
+            reader_slots.setdefault(id(net), (net, []))[1].append(
+                slot_of[func])
+    reader_map = {}
+    for net, slots in reader_slots.values():
+        reader_map[id(net)] = (net, tuple(sorted(slots)))
+    return StaticSchedule(order, levels, event_funcs, demoted, reader_map)
+
+
+def _partition_cyclic(nodes, succ):
+    """Split ``nodes`` into acyclic nodes and nodes inside cyclic SCCs
+    (Tarjan, iterative — designs can be deep)."""
+    index = {}
+    low = {}
+    onstack = {}
+    stack = []
+    sccs = []
+    counter = [0]
+
+    for root in nodes:
+        if root in index:
+            continue
+        work = [(root, 0)]
+        while work:
+            v, pi = work.pop()
+            if pi == 0:
+                index[v] = low[v] = counter[0]
+                counter[0] += 1
+                stack.append(v)
+                onstack[v] = True
+            recurse = False
+            children = succ[v]
+            for ci in range(pi, len(children)):
+                w = children[ci]
+                if w not in index:
+                    work.append((v, ci + 1))
+                    work.append((w, 0))
+                    recurse = True
+                    break
+                if onstack.get(w):
+                    if index[w] < low[v]:
+                        low[v] = index[w]
+            if recurse:
+                continue
+            if low[v] == index[v]:
+                comp = []
+                while True:
+                    w = stack.pop()
+                    onstack[w] = False
+                    comp.append(w)
+                    if w == v:
+                        break
+                sccs.append(comp)
+            if work:
+                parent = work[-1][0]
+                if low[v] < low[parent]:
+                    low[parent] = low[v]
+
+    static_nodes = []
+    demoted = []
+    for comp in sccs:
+        if len(comp) > 1 or comp[0] in succ[comp[0]]:
+            demoted.extend(comp)
+        else:
+            static_nodes.extend(comp)
+    return static_nodes, demoted
+
+
+# -- mega-cycle kernel generation ---------------------------------------------
+
+
+def generate_kernel(sim):
+    """``exec``-generate the flat per-cycle kernel for a fully-static
+    simulator (no event-driven blocks, no stats collection).
+
+    The generated function inlines, with all lookups bound to local
+    variables of the enclosing factory:
+
+    - the pre-tick settle sweep (one ``if flag: clear; call`` pair per
+      scheduled block, in topological order);
+    - every tick-block call, flag-guarded for gateable ticks;
+    - the clock-edge flop loop, marking static and tick readers
+      directly;
+    - the post-edge settle sweep.
+
+    Cycle counting, VCD sampling, and line tracing stay in
+    ``SimulationTool.cycle`` so they keep working unchanged.
+    """
+    order = sim._static_order
+    plan = sim._tick_plan
+    all_gated = all(slot >= 0 for slot, _func in plan)
+
+    lines = ["def _make(sim, funcs, ticks, gticks):"]
+    for j in range(len(plan)):
+        lines.append(f"    t{j} = ticks[{j}]")
+    lines += [
+        "    sflags = sim._sflags",
+        "    tflags = sim._tflags",
+        "    pending = sim._pending_flops",
+        "    find = sflags.find",
+        "    tfind = tflags.find",
+        "    def _mega_cycle():",
+        "        fired = 0",
+    ]
+
+    def sweep(indent):
+        # One forward scan over the flag array: ``find`` skips runs of
+        # unmarked slots at memchr speed, and a fired block can only
+        # mark slots after its own (the order is topological).
+        pad = " " * indent
+        lines.extend([
+            f"{pad}i = find(1)",
+            f"{pad}while i >= 0:",
+            f"{pad}    sflags[i] = 0",
+            f"{pad}    funcs[i]()",
+            f"{pad}    fired += 1",
+            f"{pad}    i = find(1, i + 1)",
+        ])
+
+    # Pre-tick settle: only when the test bench (or a previous cycle's
+    # tick) touched an input since the last sweep.
+    lines.append("        if sim._sdirty:")
+    sweep(12)
+    lines.append("            sim._sdirty = False")
+
+    if all_gated and plan:
+        # Every tick is activity-gated: scan the tick flags the same
+        # way (relative tick order is preserved — slots are assigned
+        # in declaration order).
+        lines += [
+            "        j = tfind(1)",
+            "        while j >= 0:",
+            "            tflags[j] = 0",
+            "            gticks[j]()",
+            "            j = tfind(1, j + 1)",
+        ]
+    else:
+        for j, (slot, _func) in enumerate(plan):
+            if slot < 0:
+                lines.append(f"        t{j}()")
+            else:
+                lines.append(f"        if tflags[{slot}]:")
+                lines.append(f"            tflags[{slot}] = 0; t{j}()")
+
+    # Clock edge: flop every pending .next, marking static and gated-
+    # tick readers of each net that actually changed.
+    lines += [
+        "        if pending:",
+        "            for net in pending:",
+        "                if net._next != net._value:",
+        "                    net._value = net._next",
+        "                    for slot in net.sreaders:",
+        "                        sflags[slot] = 1",
+        "                    for slot in net.treaders:",
+        "                        tflags[slot] = 1",
+        "                    sim._sdirty = True",
+        "            pending.clear()",
+    ]
+
+    # Post-edge settle.
+    lines.append("        if sim._sdirty:")
+    sweep(12)
+    lines.append("            sim._sdirty = False")
+
+    lines += [
+        "        sim.num_events += fired",
+        "    return _mega_cycle",
+    ]
+
+    source = "\n".join(lines)
+    namespace = {}
+    exec(compile(source, "<mega-cycle>", "exec"), namespace)
+    nslots = sum(1 for slot, _func in plan if slot >= 0)
+    gticks = [None] * nslots
+    for slot, func in plan:
+        if slot >= 0:
+            gticks[slot] = func
+    kernel = namespace["_make"](
+        sim, tuple(order), [func for _slot, func in plan], tuple(gticks))
+    kernel._source = source
+    return kernel

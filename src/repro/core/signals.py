@@ -36,7 +36,8 @@ class _Net:
     a list of dependent combinational blocks at construction time.
     """
 
-    __slots__ = ("nbits", "_value", "_next", "parent", "sim", "blocks", "id")
+    __slots__ = ("nbits", "_value", "_next", "parent", "sim", "blocks",
+                 "id", "sreaders", "treaders")
 
     def __init__(self, nbits):
         self.nbits = nbits
@@ -44,8 +45,10 @@ class _Net:
         self._next = 0
         self.parent = self      # union-find parent
         self.sim = None         # owning SimulationTool, if any
-        self.blocks = ()        # combinational blocks sensitive to this net
+        self.blocks = ()        # event-driven blocks sensitive to this net
         self.id = None          # dense index assigned by the simulator
+        self.sreaders = ()      # static-schedule slots reading this net
+        self.treaders = ()      # gated-tick slots reading this net
 
     def find(self):
         """Union-find root with path compression."""
@@ -122,14 +125,23 @@ class Signal(metaclass=_ArrayableMeta):
     @property
     def value(self):
         """Current value as ``Bits`` (or ``BitStruct`` view)."""
-        raw = self._net.find().read()
+        # Hot path: elaboration compresses ``_net`` to the union-find
+        # root, so skip the ``find()`` call once compressed.
+        net = self._net
+        if net.parent is not net:
+            net = net.find()
+            self._net = net
         if self._struct is not None:
-            return self._struct(raw)
-        return Bits(self.nbits, raw)
+            return self._struct(net._value)
+        return Bits(self.nbits, net._value)
 
     @value.setter
     def value(self, value):
-        self._net.find().write(int(value) & ((1 << self.nbits) - 1))
+        net = self._net
+        if net.parent is not net:
+            net = net.find()
+            self._net = net
+        net.write(int(value) & ((1 << self.nbits) - 1))
 
     @property
     def next(self):
@@ -139,10 +151,18 @@ class Signal(metaclass=_ArrayableMeta):
 
     @next.setter
     def next(self, value):
-        self._net.find().write_next(int(value) & ((1 << self.nbits) - 1))
+        net = self._net
+        if net.parent is not net:
+            net = net.find()
+            self._net = net
+        net.write_next(int(value) & ((1 << self.nbits) - 1))
 
     def uint(self):
-        return self._net.find().read()
+        net = self._net
+        if net.parent is not net:
+            net = net.find()
+            self._net = net
+        return net._value
 
     # -- slicing and struct-field access ------------------------------------
 
@@ -181,13 +201,16 @@ class Signal(metaclass=_ArrayableMeta):
     # -- operator forwarding --------------------------------------------------
 
     def __int__(self):
-        return self._net.find().read()
+        net = self._net
+        return (net if net.parent is net else net.find())._value
 
     def __index__(self):
-        return self._net.find().read()
+        net = self._net
+        return (net if net.parent is net else net.find())._value
 
     def __bool__(self):
-        return self._net.find().read() != 0
+        net = self._net
+        return (net if net.parent is net else net.find())._value != 0
 
     def __add__(self, other):
         return self.value + other

@@ -1,4 +1,4 @@
-"""SimulationTool: event-driven simulator for elaborated models.
+"""SimulationTool: simulator for elaborated models.
 
 The simulator (paper Section III-B) inspects an elaborated model
 instance, registers its concurrent logic blocks, wires sensitivity
@@ -13,23 +13,42 @@ lists to nets, and exposes a cycle-based API:
 
 Cycle semantics:
 
-1. combinational logic settles (event-driven fixpoint) so tick blocks
-   see inputs the test bench just drove;
+1. combinational logic settles so tick blocks see inputs the test
+   bench just drove;
 2. all ``@s.tick_*`` blocks execute once, reading ``.value`` (pre-edge
    state) and writing ``.next``;
 3. the clock edge flops every pending ``.next`` into ``.value``;
 4. combinational logic settles again so the test bench reads
    post-edge outputs.
 
-Combinational blocks are enqueued when a net in their sensitivity list
-changes; a net write that does not change the stored value triggers
-nothing.  A bounded event budget per settle phase detects true
-combinational loops instead of hanging.
+Scheduling modes (``sched=`` constructor argument):
+
+- ``"event"`` — the classic event-driven fixpoint: a net write that
+  changes the stored value enqueues every block in its sensitivity
+  list, and the queue drains until no block fires.
+- ``"static"`` — blocks whose read/write sets are statically known and
+  whose dataflow graph is acyclic run in a fixed topological order,
+  one pass per settle (see :mod:`.scheduling`).  Blocks in true
+  combinational cycles, or with unbounded write sets (FL adapters,
+  dynamic attribute writes), fall back per-SCC to the event fixpoint,
+  so the settle loop is a hybrid.  When *every* block is static (and
+  stats collection is off) the whole cycle — settle, ticks, clock
+  edge, settle — is ``exec``-compiled into one flat mega-cycle kernel.
+- ``"auto"`` (default) — ``"static"`` when the scheduling pass finds
+  at least one statically-schedulable block or one gateable tick
+  block, else ``"event"``.
+
+Both modes see identical values: the static order is a valid
+evaluation order of the same dataflow the event queue chases, and
+demoted blocks keep their event semantics.  A bounded event budget per
+settle phase detects true combinational loops instead of hanging.
 """
 
 from __future__ import annotations
 
 from collections import deque
+
+from .scheduling import build_schedule, generate_kernel
 
 
 class SimulationError(Exception):
@@ -44,7 +63,11 @@ class SimulationTool:
     """Generates and drives a simulator for an elaborated model."""
 
     def __init__(self, model, line_trace=False, vcd=None,
-                 collect_stats=False):
+                 collect_stats=False, sched="auto"):
+        if sched not in ("auto", "static", "event"):
+            raise ValueError(
+                f"sched must be 'auto', 'static', or 'event'; got {sched!r}"
+            )
         if not model.is_elaborated():
             model.elaborate()
         self.model = model
@@ -61,6 +84,8 @@ class SimulationTool:
         for i, net in enumerate(model._all_nets):
             net.sim = self
             net.blocks = ()
+            net.sreaders = ()
+            net.treaders = ()
             net.id = i
 
         # Tick blocks in hierarchical declaration order.  FL blocks
@@ -74,70 +99,216 @@ class SimulationTool:
             wrappers.get(blk.func, blk.func) for blk in self._tick_blocks
         ]
 
-        # Combinational blocks: wire sensitivity lists into net callbacks.
+        # Combinational work: user blocks plus slice/constant connector
+        # copies.  Each entry also carries the net-level read/write sets
+        # the static scheduler consumes.
         self._comb_blocks = [
             blk for m in model._all_models for blk in m.get_comb_blocks()
         ]
         comb_funcs = []
+        infos = []                  # (func, read_nets, write_nets, known)
         for blk in self._comb_blocks:
             comb_funcs.append(blk.func)
-            for sig in blk.signals:
-                net = sig._net.find()
-                if blk.func not in net.blocks:
-                    net.blocks = net.blocks + (blk.func,)
-
-        # Slice/constant connectors become tiny combinational copies.
+            infos.append((
+                blk.func,
+                _nets_of(blk.reads),
+                _nets_of(blk.writes),
+                blk.writes_known,
+            ))
         for src, dst in model._connectors:
             func = _make_connector(src, dst)
             comb_funcs.append(func)
-            sig = src.signal if hasattr(src, "signal") else src
-            net = sig._net.find()
-            net.blocks = net.blocks + (func,)
+            infos.append((
+                func,
+                _nets_of([src]),
+                _nets_of([dst]),
+                True,
+            ))
 
         self._all_comb_funcs = comb_funcs
+        for func in comb_funcs:
+            func._in_queue = False
         self._event_budget = max(
             10000, _EVENT_BUDGET_PER_BLOCK * max(1, len(comb_funcs))
         )
+        if collect_stats:
+            # Preseed zero entries so never-fired blocks still show up
+            # in activity reports.
+            self.block_calls = {func: 0 for func in comb_funcs}
 
         self._queue = deque()
-        self._queued = set()
         self._pending_flops = {}
+
+        # -- scheduling-mode selection ---------------------------------
+        self.schedule = None
+        self._static_order = []
+        self._sflags = bytearray()
+        self._sdirty = False
+        self._kernel = None
+        self._tick_plan = [(-1, func) for func in self._ticks]
+        self._tflags = bytearray()
+        self._gated_ticks = ()
+        self._all_ticks_gated = False
+
+        if sched != "event":
+            schedule = build_schedule(infos)
+            gateable = any(
+                blk.gateable and func is blk.func
+                for blk, func in zip(self._tick_blocks, self._ticks))
+            if sched == "static" or schedule.order or gateable:
+                self.schedule = schedule
+        self.sched_mode = "static" if self.schedule is not None else "event"
+
+        if self.schedule is not None:
+            self._build_tick_plan()
+            sch = self.schedule
+            self._static_order = list(sch.order)
+            self._sflags = bytearray(len(sch.order))
+            event_funcs = set(sch.event_funcs)
+            # Event partition keeps the legacy sensitivity wiring.
+            self._wire_sensitivity(
+                lambda func: func in event_funcs)
+            # Static partition: nets mark reader slots in the flag array.
+            for net, slots in sch.reader_slots.values():
+                net.sreaders = slots
+        else:
+            self._wire_sensitivity(lambda func: True)
 
         # Constant ties: drive once; nothing else may write these nets.
         for end, const in model._const_ties:
             end.value = const
 
         # Initial settle: evaluate every combinational block once.
-        for func in comb_funcs:
-            self._enqueue(func)
+        for i in range(len(self._static_order)):
+            self._sflags[i] = 1
+        self._sdirty = bool(self._static_order)
+        if self.schedule is not None:
+            for func in self.schedule.event_funcs:
+                self._enqueue(func)
+        else:
+            for func in comb_funcs:
+                self._enqueue(func)
         self.eval_combinational()
+
+        # Fully static design + no stats hooks: compile the flat
+        # mega-cycle kernel (VCD/line-trace stay in cycle()).
+        if (self.sched_mode == "static" and not collect_stats
+                and self.schedule is not None
+                and not self.schedule.event_funcs):
+            self._kernel = generate_kernel(self)
+
+    def _build_tick_plan(self):
+        """Partition tick blocks into gated and always-run entries.
+
+        A tick the elaborator proved to be a pure function of a known
+        signal read set (``blk.gateable``) is skipped while none of its
+        read nets changed since its last execution: with identical
+        reads it would recompute identical writes.  FL/CL blocks with
+        Python-side state, wrapped coroutine runners, and ticks whose
+        written nets have multiple known writers (skip order would
+        change last-writer-wins results) always run.
+        """
+        writer_counts = {}
+        cand = []
+        for blk, func in zip(self._tick_blocks, self._ticks):
+            gate = blk.gateable and func is blk.func
+            cand.append(gate)
+            if gate:
+                for net in _nets_of(blk.writes):
+                    writer_counts[id(net)] = writer_counts.get(
+                        id(net), 0) + 1
+        plan = []
+        nslots = 0
+        for (blk, func), gate in zip(
+                zip(self._tick_blocks, self._ticks), cand):
+            if gate and any(writer_counts[id(net)] > 1
+                            for net in _nets_of(blk.writes)):
+                gate = False
+            if not gate:
+                plan.append((-1, func))
+                continue
+            slot = nslots
+            nslots += 1
+            plan.append((slot, func))
+            for net in _nets_of(blk.reads):
+                net.treaders = net.treaders + (slot,)
+        self._tick_plan = plan
+        self._tflags = bytearray(b"\x01" * nslots)
+        gticks = [None] * nslots
+        for slot, func in plan:
+            if slot >= 0:
+                gticks[slot] = func
+        self._gated_ticks = tuple(gticks)
+        self._all_ticks_gated = bool(plan) and nslots == len(plan)
+
+    def _wire_sensitivity(self, want):
+        """Wire the legacy sensitivity lists of selected blocks (and
+        the source nets of connectors) into ``net.blocks``."""
+        for blk in self._comb_blocks:
+            if not want(blk.func):
+                continue
+            for sig in blk.signals:
+                net = sig._net.find()
+                if blk.func not in net.blocks:
+                    net.blocks = net.blocks + (blk.func,)
+        nblocks = len(self._comb_blocks)
+        for (src, dst), func in zip(
+                self.model._connectors, self._all_comb_funcs[nblocks:]):
+            if not want(func):
+                continue
+            sig = src.signal if hasattr(src, "signal") else src
+            net = sig._net.find()
+            net.blocks = net.blocks + (func,)
 
     # -- net callbacks (called by _Net) ------------------------------------
 
     def _notify(self, net):
         for func in net.blocks:
-            self._enqueue(func)
+            if not func._in_queue:
+                func._in_queue = True
+                self._queue.append(func)
+        sreaders = net.sreaders
+        if sreaders:
+            sflags = self._sflags
+            for slot in sreaders:
+                sflags[slot] = 1
+            self._sdirty = True
+        treaders = net.treaders
+        if treaders:
+            tflags = self._tflags
+            for slot in treaders:
+                tflags[slot] = 1
 
     def _register_flop(self, net):
         self._pending_flops[net] = True
 
     def _enqueue(self, func):
-        if func not in self._queued:
-            self._queued.add(func)
+        if not func._in_queue:
+            func._in_queue = True
             self._queue.append(func)
 
     # -- simulation control ---------------------------------------------------
 
     def eval_combinational(self):
-        """Run combinational logic to fixpoint."""
+        """Run combinational logic to fixpoint.
+
+        Hybrid settle: alternate static in-order passes (when any
+        static reader is flagged) with event-queue drains, until both
+        are quiescent.  The shared event budget bounds cross-partition
+        ping-pong as well as pure event loops."""
         queue = self._queue
-        queued = self._queued
         budget = self._event_budget
         stats = self.block_calls if self.collect_stats else None
         events = 0
-        while queue:
+        while True:
+            if self._sdirty:
+                events += self._run_static_pass(stats)
+            if not queue:
+                if self._sdirty:
+                    continue
+                break
             func = queue.popleft()
-            queued.discard(func)
+            func._in_queue = False
             func()
             events += 1
             if stats is not None:
@@ -149,13 +320,58 @@ class SimulationTool:
                 )
         self.num_events += events
 
+    def _run_static_pass(self, stats=None):
+        """One in-order sweep over the static schedule, running exactly
+        the flagged blocks.  A block can flag only later slots (the
+        order is topological), so one forward ``find`` scan — which
+        skips unmarked runs at memchr speed — clears every flag."""
+        order = self._static_order
+        sflags = self._sflags
+        find = sflags.find
+        fired = 0
+        i = find(1)
+        while i >= 0:
+            sflags[i] = 0
+            func = order[i]
+            func()
+            fired += 1
+            if stats is not None:
+                stats[func] = stats.get(func, 0) + 1
+            i = find(1, i + 1)
+        self._sdirty = False
+        return fired
+
     def cycle(self):
         """Advance simulated time by one clock cycle."""
-        self.eval_combinational()
-        for tick in self._ticks:
-            tick()
-        self._flop()
-        self.eval_combinational()
+        kernel = self._kernel
+        if kernel is not None:
+            kernel()
+        else:
+            self.eval_combinational()
+            if self._all_ticks_gated:
+                # Declaration order is preserved: slots are assigned in
+                # plan order, so a forward flag scan runs the marked
+                # ticks in the same order the plan loop would.
+                tflags = self._tflags
+                gticks = self._gated_ticks
+                j = tflags.find(1)
+                while j >= 0:
+                    tflags[j] = 0
+                    gticks[j]()
+                    j = tflags.find(1, j + 1)
+            elif self._tflags:
+                tflags = self._tflags
+                for slot, tick in self._tick_plan:
+                    if slot < 0:
+                        tick()
+                    elif tflags[slot]:
+                        tflags[slot] = 0
+                        tick()
+            else:
+                for tick in self._ticks:
+                    tick()
+            self._flop()
+            self.eval_combinational()
         self.ncycles += 1
         if self._vcd is not None:
             self._vcd.sample(self.ncycles)
@@ -164,6 +380,13 @@ class SimulationTool:
 
     def run(self, ncycles):
         """Run ``ncycles`` cycles."""
+        kernel = self._kernel
+        if (kernel is not None and self._vcd is None
+                and not self._line_trace_on):
+            for _ in range(ncycles):
+                kernel()
+            self.ncycles += ncycles
+            return
         for _ in range(ncycles):
             self.cycle()
 
@@ -197,10 +420,33 @@ class SimulationTool:
             print(f"{self.ncycles:4}: {trace}")
 
 
+def _nets_of(ends):
+    """Deduplicated net roots of a list of signals/slices."""
+    nets = []
+    seen = set()
+    for end in ends:
+        sig = end.signal if hasattr(end, "signal") else end
+        net = sig._net.find()
+        if id(net) not in seen:
+            seen.add(id(net))
+            nets.append(net)
+    return nets
+
+
+def _endpoint_name(end):
+    """Stable dotted name of a connector endpoint for diagnostics."""
+    if hasattr(end, "signal"):
+        base = end.signal.name or "?"
+        return f"{base}[{end.lo}:{end.hi}]"
+    return getattr(end, "name", None) or "?"
+
+
 def _make_connector(src, dst):
     """Build the copy function implementing a directional slice/const
     connector."""
     def connector():
         dst.value = src.value
-    connector.__name__ = "connect_copy"
+    connector.__name__ = (
+        f"connect({_endpoint_name(src)} -> {_endpoint_name(dst)})"
+    )
     return connector

@@ -1,6 +1,7 @@
 """Memory substrate: message types, magic test memory, and blocking
 direct-mapped caches at FL/CL/RTL detail."""
 
+from .banked import BankedCacheRTL
 from .cache_cl import CacheCL
 from .cache_fl import CacheFL
 from .cache_rtl import CacheRTL
@@ -17,5 +18,5 @@ __all__ = [
     "MemMsg", "MemReqMsg", "MemRespMsg",
     "MEM_REQ_READ", "MEM_REQ_WRITE",
     "TestMemory",
-    "CacheFL", "CacheCL", "CacheRTL",
+    "CacheFL", "CacheCL", "CacheRTL", "BankedCacheRTL",
 ]

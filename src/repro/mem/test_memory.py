@@ -51,29 +51,52 @@ class TestMemory(Model):
                     s.ports[i].req_rdy.next = 0
                     s.ports[i].resp_val.next = 0
                 return
+            ports = s.ports
+            pendings = s.pending
             for i in range(s.nports):
-                s._port_tick(i)
+                port = ports[i]
+                # A settled idle port (nothing in flight, no request
+                # offered, outputs at their idle values) ticks to an
+                # exact no-op — skip the call.
+                if (pendings[i] or port.req_val.uint()
+                        or port.resp_val.uint()
+                        or not port.req_rdy.uint()):
+                    s._port_tick(i)
 
     def _port_tick(s, i):
         port = s.ports[i]
         pending = s.pending[i]
 
-        # Response delivered on the last edge?
-        if int(port.resp_val) and int(port.resp_rdy):
-            pending.popleft()
+        if not pending:
+            # Fast path: no response in flight (``resp_val`` can only
+            # be high while ``pending`` holds its message, so there is
+            # nothing to retire).  Idle ports write no signals at all.
+            if port.req_val.uint() and port.req_rdy.uint():
+                resp = s._process(port.req_msg.value)
+                pending.append((s.cycle_count + s.latency - 1, resp))
+            else:
+                if not port.req_rdy.uint():
+                    port.req_rdy.next = 1
+                if port.resp_val.uint():
+                    port.resp_val.next = 0
+                return
+        else:
+            # Response delivered on the last edge?
+            if port.resp_val.uint() and port.resp_rdy.uint():
+                pending.popleft()
+            # Accept a new request?
+            if port.req_val.uint() and port.req_rdy.uint():
+                resp = s._process(port.req_msg.value)
+                pending.append((s.cycle_count + s.latency - 1, resp))
 
-        # Accept a new request?
-        if int(port.req_val) and int(port.req_rdy):
-            req = port.req_msg.value
-            resp = s._process(req)
-            pending.append((s.cycle_count + s.latency - 1, resp))
-
-        # Drive next-cycle outputs.
-        port.req_rdy.next = len(pending) < 4
+        # Drive next-cycle outputs, writing only on change.
+        rdy = 1 if len(pending) < 4 else 0
+        if port.req_rdy.uint() != rdy:
+            port.req_rdy.next = rdy
         if pending and pending[0][0] <= s.cycle_count:
             port.resp_val.next = 1
             port.resp_msg.next = pending[0][1]
-        else:
+        elif port.resp_val.uint():
             port.resp_val.next = 0
 
     def _process(s, req):

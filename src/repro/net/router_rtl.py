@@ -51,11 +51,18 @@ class RouterRTL(Model):
 
         @s.combinational
         def switch_logic():
-            # Route each queue's head packet (XY dimension-ordered,
-            # written inline so the block is SimJIT-translatable).
+            # Hoist per-queue head state into locals once per run: the
+            # arbitration loop below would otherwise re-walk the
+            # queue/bundle attribute chains 25 times.
+            msgs = [0] * s.NPORTS
+            vals = [0] * s.NPORTS
             routes = [0] * s.NPORTS
             for i in range(s.NPORTS):
-                msg = s.queues[i].deq.msg.value.uint()
+                # Route each queue's head packet (XY dimension-ordered,
+                # written inline so the block is SimJIT-translatable).
+                msg = s.queues[i].deq.msg.uint()
+                msgs[i] = msg
+                vals[i] = s.queues[i].deq.val.uint()
                 dest = (msg >> s.dest_lo) & \
                     ((1 << (s.dest_hi - s.dest_lo)) - 1)
                 dest_x = dest % s.dim
@@ -74,18 +81,18 @@ class RouterRTL(Model):
             claimed = [0] * s.NPORTS
             for o in range(s.NPORTS):
                 choice = -1
+                base = s.priority[o].uint()
                 for k in range(s.NPORTS):
-                    i = (s.priority[o].uint() + k) % s.NPORTS
+                    i = (base + k) % s.NPORTS
                     if (choice < 0 and claimed[i] == 0
-                            and s.queues[i].deq.val.uint()
-                            and routes[i] == o):
+                            and vals[i] and routes[i] == o):
                         choice = i
                 if choice >= 0:
                     claimed[choice] = 1
                     s.grant[o].value = choice
                     s.grant_val[o].value = 1
                     s.out[o].val.value = 1
-                    s.out[o].msg.value = s.queues[choice].deq.msg.value
+                    s.out[o].msg.value = msgs[choice]
                 else:
                     s.grant[o].value = 0
                     s.grant_val[o].value = 0
@@ -98,7 +105,7 @@ class RouterRTL(Model):
             for o in range(s.NPORTS):
                 if s.grant_val[o].uint():
                     s.queues[s.grant[o].uint()].deq.rdy.value = \
-                        s.out[o].rdy.value
+                        s.out[o].rdy.uint()
 
         @s.tick_rtl
         def priority_logic():
