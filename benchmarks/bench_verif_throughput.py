@@ -1,0 +1,109 @@
+"""Differential co-simulation throughput (verification subsystem).
+
+Not a paper figure — quantifies what the :mod:`repro.verif` harness
+costs, so its place in the development loop is understood: a cosim run
+simulates N implementations in lockstep plus monitors, online diffing,
+and coverage.  Reports randomized transactions/s for the cache and
+mesh sweeps, the per-DUT cycle rate, and the raw single-simulator
+cycle rate on the same design for comparison.
+"""
+
+import time
+
+from common import format_table, write_result
+from repro.verif import (
+    RNG,
+    CoSimHarness,
+    backpressure_pattern,
+    mem_request_strategy,
+    net_message_strategy,
+)
+from repro.verif.duts import CACHE_WINDOW_WORDS, make_cache_dut, make_mesh_dut
+
+N_TXNS = 600
+
+
+def _cache_harness():
+    return CoSimHarness(
+        [make_cache_dut("event", "rtl", sched="event"),
+         make_cache_dut("static", "rtl", sched="static"),
+         make_cache_dut("jit", "rtl", jit=True)],
+        compare="cycle_exact")
+
+
+def _cache_stimulus():
+    rng = RNG(1).fork("bench")
+    strat = mem_request_strategy(addr_words=CACHE_WINDOW_WORDS)
+    return {"req": [strat.sample(rng) for _ in range(N_TXNS)]}
+
+
+def _mesh_harness():
+    return CoSimHarness(
+        [make_mesh_dut("event", "rtl", sched="event"),
+         make_mesh_dut("static", "rtl", sched="static"),
+         make_mesh_dut("jit", "rtl", jit=True)],
+        compare="cycle_exact")
+
+
+def _mesh_stimulus():
+    rng = RNG(2)
+    from repro.net import NetMsg
+    msg_type = NetMsg(4, 256, 16)
+    stimulus = {}
+    for src in range(4):
+        port_rng = rng.fork(f"port{src}")
+        strat = net_message_strategy(msg_type, src, 4)
+        stimulus[f"in{src}"] = [
+            strat.sample(port_rng) for _ in range(N_TXNS // 4)]
+    return stimulus
+
+
+def _timed_run(harness, stimulus):
+    start = time.perf_counter()
+    res = harness.run(
+        stimulus, backpressure=backpressure_pattern("random", p=0.8,
+                                                    seed=3))
+    elapsed = time.perf_counter() - start
+    return (res.ntransactions() / elapsed,
+            sum(res.ncycles.values()) / elapsed)
+
+
+def _raw_cycle_rate(adapter, ncycles=2000):
+    adapter.sim.reset()
+    start = time.perf_counter()
+    adapter.sim.run(ncycles)
+    return ncycles / (time.perf_counter() - start)
+
+
+def test_bench_verif_cosim_throughput(benchmark):
+    results = {}
+
+    def run():
+        results["cache"] = _timed_run(_cache_harness(), _cache_stimulus())
+        results["mesh"] = _timed_run(_mesh_harness(), _mesh_stimulus())
+        results["cache_raw"] = _raw_cycle_rate(
+            make_cache_dut("raw", "rtl", sched="static"))
+        results["mesh_raw"] = _raw_cycle_rate(
+            make_mesh_dut("raw", "rtl", sched="static"))
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for design in ("cache", "mesh"):
+        txn_rate, cyc_rate = results[design]
+        raw = results[f"{design}_raw"]
+        rows.append([
+            design, f"{txn_rate:.0f}", f"{cyc_rate:.0f}",
+            f"{raw:.0f}", f"{raw / (cyc_rate / 3):.1f}x",
+        ])
+    text = format_table(
+        "Differential co-simulation throughput "
+        "(3 substrates, cycle-exact, random backpressure)",
+        ["design", "txns/s", "cosim cycles/s (all DUTs)",
+         "raw cycles/s (1 sim)", "harness overhead"],
+        rows)
+    write_result("verif_throughput.txt", text)
+
+    # Sanity floor: the harness must stay usable for 1000-txn sweeps.
+    assert results["cache"][0] > 50
+    assert results["mesh"][0] > 50

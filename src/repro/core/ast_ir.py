@@ -422,9 +422,16 @@ class BlockTranslator:
             lst, count = node.left, node.right
         else:
             lst, count = node.right, node.left
-        if len(lst.elts) != 1 or not isinstance(lst.elts[0], ast.Constant):
+        if len(lst.elts) != 1:
             self.fail(ctx, "array init must be [const] * N")
-        return self.static_int(count, ctx), int(lst.elts[0].value)
+        elt = lst.elts[0]
+        neg = False
+        if isinstance(elt, ast.UnaryOp) and isinstance(elt.op, ast.USub):
+            elt, neg = elt.operand, True
+        if not isinstance(elt, ast.Constant):
+            self.fail(ctx, "array init must be [const] * N")
+        value = int(elt.value)
+        return self.static_int(count, ctx), -value if neg else value
 
     # -- expressions --------------------------------------------------------------------
 

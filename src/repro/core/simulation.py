@@ -63,7 +63,7 @@ class SimulationTool:
     """Generates and drives a simulator for an elaborated model."""
 
     def __init__(self, model, line_trace=False, vcd=None,
-                 collect_stats=False, sched="auto"):
+                 collect_stats=False, sched="auto", trace_depth=0):
         if sched not in ("auto", "static", "event"):
             raise ValueError(
                 f"sched must be 'auto', 'static', or 'event'; got {sched!r}"
@@ -73,6 +73,10 @@ class SimulationTool:
         self.model = model
         self.ncycles = 0
         self._line_trace_on = line_trace
+        # Ring buffer of the last ``trace_depth`` line traces, used by
+        # the differential-verification subsystem to report the cycles
+        # leading up to a divergence without paying for full tracing.
+        self.trace_log = deque(maxlen=trace_depth) if trace_depth else None
         self._vcd = vcd
         if vcd is not None:
             vcd.attach(model)
@@ -375,6 +379,14 @@ class SimulationTool:
         self.ncycles += 1
         if self._vcd is not None:
             self._vcd.sample(self.ncycles)
+        if self.trace_log is not None:
+            # Specialized (JIT) submodels may not support line_trace;
+            # diagnostics must never kill the run being diagnosed.
+            try:
+                trace = self.model.line_trace()
+            except Exception as exc:
+                trace = f"<line_trace unavailable: {exc}>"
+            self.trace_log.append((self.ncycles, trace))
         if self._line_trace_on:
             self.print_line_trace()
 
@@ -382,7 +394,7 @@ class SimulationTool:
         """Run ``ncycles`` cycles."""
         kernel = self._kernel
         if (kernel is not None and self._vcd is None
-                and not self._line_trace_on):
+                and not self._line_trace_on and self.trace_log is None):
             for _ in range(ncycles):
                 kernel()
             self.ncycles += ncycles

@@ -82,9 +82,21 @@ class RouterCL(Model):
                             s.in_[i].msg.uint()
                         s.buf_count[i] = s.buf_count[i] + 1
 
-                # 3. Route + arbitrate for each output.
+                # 3. Route + arbitrate for each output.  An offer that
+                #    stalled (val high, rdy low at the edge) holds its
+                #    grant: a pending offer's payload must stay stable
+                #    until accepted (val/rdy protocol), so a stalled
+                #    output may not re-arbitrate.
                 claimed = [0] * s.NPORTS
+                held = [0] * s.NPORTS
                 for o in range(s.NPORTS):
+                    if (s.out[o].val.uint() and not s.out[o].rdy.uint()
+                            and s.grants[o] >= 0):
+                        held[o] = 1
+                        claimed[s.grants[o]] = 1
+                for o in range(s.NPORTS):
+                    if held[o]:
+                        continue        # val/msg registers keep the offer
                     s.grants[o] = -1
                     choice = -1
                     for k in range(s.NPORTS):

@@ -44,10 +44,15 @@ class RouterRTL(Model):
         for i in range(s.NPORTS):
             s.connect(s.in_[i], s.queues[i].enq)
 
-        # Arbitration state: grant per output, round-robin pointer.
+        # Arbitration state: grant per output, round-robin pointer,
+        # and a registered hold: an offer that stalled (val & !rdy at
+        # the edge) pins its grant so the pending payload stays stable
+        # until accepted (val/rdy protocol).
         s.grant = [Wire(bw(s.NPORTS)) for _ in range(s.NPORTS)]
         s.grant_val = [Wire(1) for _ in range(s.NPORTS)]
         s.priority = [Wire(bw(s.NPORTS)) for _ in range(s.NPORTS)]
+        s.hold_val = [Wire(1) for _ in range(s.NPORTS)]
+        s.hold_grant = [Wire(bw(s.NPORTS)) for _ in range(s.NPORTS)]
 
         @s.combinational
         def switch_logic():
@@ -78,17 +83,29 @@ class RouterRTL(Model):
                 else:
                     routes[i] = s.TERM
 
+            # Held grants claim their inputs first: a stalled output
+            # must re-offer the same packet, and no other output may
+            # steal that input meanwhile.
             claimed = [0] * s.NPORTS
+            choices = [-1] * s.NPORTS
             for o in range(s.NPORTS):
-                choice = -1
-                base = s.priority[o].uint()
-                for k in range(s.NPORTS):
-                    i = (base + k) % s.NPORTS
-                    if (choice < 0 and claimed[i] == 0
-                            and vals[i] and routes[i] == o):
-                        choice = i
+                if s.hold_val[o].uint():
+                    i = s.hold_grant[o].uint()
+                    if claimed[i] == 0 and vals[i] and routes[i] == o:
+                        choices[o] = i
+                        claimed[i] = 1
+            for o in range(s.NPORTS):
+                choice = choices[o]
+                if choice < 0:
+                    base = s.priority[o].uint()
+                    for k in range(s.NPORTS):
+                        i = (base + k) % s.NPORTS
+                        if (choice < 0 and claimed[i] == 0
+                                and vals[i] and routes[i] == o):
+                            choice = i
+                    if choice >= 0:
+                        claimed[choice] = 1
                 if choice >= 0:
-                    claimed[choice] = 1
                     s.grant[o].value = choice
                     s.grant_val[o].value = 1
                     s.out[o].val.value = 1
@@ -112,11 +129,20 @@ class RouterRTL(Model):
             if s.reset:
                 for o in range(s.NPORTS):
                     s.priority[o].next = 0
+                    s.hold_val[o].next = 0
+                    s.hold_grant[o].next = 0
             else:
                 for o in range(s.NPORTS):
                     if s.grant_val[o].uint() and s.out[o].rdy.uint():
                         s.priority[o].next = \
                             (s.grant[o].uint() + 1) % s.NPORTS
+                    # Pin the grant of an offer that stalled this edge.
+                    if s.grant_val[o].uint() \
+                            and not s.out[o].rdy.uint():
+                        s.hold_val[o].next = 1
+                        s.hold_grant[o].next = s.grant[o].uint()
+                    else:
+                        s.hold_val[o].next = 0
 
     def route(s, dest):
         """XY dimension-ordered routing (same policy as RouterCL)."""

@@ -1,0 +1,137 @@
+"""Protocol monitors and scoreboard for val/rdy channels.
+
+The latency-insensitive protocol (paper Section II) has two rules
+beyond "transfer happens when val & rdy":
+
+1. **no val-drop** — once a producer asserts ``val`` it must keep it
+   asserted until the cycle the transfer completes (a producer may not
+   revoke an offer just because the consumer stalled);
+2. **payload stability** — while an offer is stalled, ``msg`` must hold
+   its value (the consumer may latch it on the accepting edge only).
+
+A :class:`ValRdyMonitor` observes one channel's ``(val, rdy, msg)``
+each cycle and records violations; the cosim harness attaches one per
+captured channel so a protocol bug is reported even when both
+implementations agree (they could agree *and* both be wrong).
+
+The :class:`Scoreboard` does in-order expected-vs-actual matching with
+an optional key function, used for golden-model checks and by the
+monitor unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ProtocolViolation", "ValRdyMonitor", "Scoreboard"]
+
+
+@dataclass
+class ProtocolViolation:
+    """One observed breach of the val/rdy contract."""
+
+    channel: str
+    cycle: int
+    rule: str           # "val_drop" | "payload_change"
+    detail: str
+
+    def __str__(self):
+        return f"[{self.channel} @ cycle {self.cycle}] {self.rule}: " \
+               f"{self.detail}"
+
+
+class ValRdyMonitor:
+    """Watches one val/rdy channel for protocol violations.
+
+    Feed it ``observe(cycle, val, rdy, msg)`` once per cycle with the
+    values sampled just before the clock edge.  Completed transfers are
+    appended to ``transfers`` as ``(cycle, msg)`` pairs; violations to
+    ``violations``.
+
+    Passive taps that only record a *filtered* subset of transfers set
+    ``check=False``: protocol rules over a partial view would produce
+    false positives.
+    """
+
+    def __init__(self, channel="ch", check=True):
+        self.channel = channel
+        self.check = check
+        self.transfers = []
+        self.violations = []
+        self._stalled = False       # offer pending from a previous cycle
+        self._held_msg = None
+
+    def reset(self):
+        self._stalled = False
+        self._held_msg = None
+
+    def observe(self, cycle, val, rdy, msg):
+        val, rdy, msg = int(val), int(rdy), int(msg)
+        if self._stalled and self.check:
+            if not val:
+                self.violations.append(ProtocolViolation(
+                    self.channel, cycle, "val_drop",
+                    f"val deasserted while offer {self._held_msg:#x} "
+                    f"was still waiting for rdy"))
+                self._stalled = False
+                self._held_msg = None
+                return
+            if msg != self._held_msg:
+                self.violations.append(ProtocolViolation(
+                    self.channel, cycle, "payload_change",
+                    f"msg changed {self._held_msg:#x} -> {msg:#x} "
+                    f"before the offer was accepted"))
+                self._held_msg = msg    # track the new payload onward
+        if val and rdy:
+            self.transfers.append((cycle, msg))
+            self._stalled = False
+            self._held_msg = None
+        elif val:
+            if not self._stalled:
+                self._held_msg = msg
+            self._stalled = True
+
+    @property
+    def ok(self):
+        return not self.violations
+
+
+class Scoreboard:
+    """In-order expected-vs-actual matcher.
+
+    ``key`` (optional) projects each message before comparison, e.g. to
+    ignore a don't-care field.  Mismatches accumulate in
+    ``mismatches`` as ``(index, expected, actual)`` tuples; extra
+    actuals with an empty expected queue are recorded as
+    ``(index, None, actual)``.
+    """
+
+    def __init__(self, expected=(), key=None):
+        self._expected = list(expected)
+        self._key = key if key is not None else (lambda m: m)
+        self._idx = 0
+        self.mismatches = []
+
+    def push_expected(self, msg):
+        self._expected.append(msg)
+
+    def push_actual(self, msg):
+        idx = self._idx
+        self._idx += 1
+        if idx >= len(self._expected):
+            self.mismatches.append((idx, None, msg))
+            return False
+        want = self._expected[idx]
+        if self._key(want) != self._key(msg):
+            self.mismatches.append((idx, want, msg))
+            return False
+        return True
+
+    @property
+    def pending(self):
+        """Expected messages not yet matched."""
+        return self._expected[self._idx:]
+
+    @property
+    def ok(self):
+        return not self.mismatches and not self.pending

@@ -1,0 +1,146 @@
+"""Failure shrinking and standalone-repro emission.
+
+A constrained-random failure at transaction #847 is a fact; a
+three-transaction sequence that still fails is an explanation.  On a
+mismatch the differential sweeps call :func:`shrink_cosim_failure`,
+which greedily delta-debugs the stimulus (drop halves, then quarters,
+then single transactions, keeping any removal that still reproduces
+the *same class* of failure) and re-runs once more to harvest the
+divergence line traces.  :func:`emit_repro` then writes a standalone
+pytest file containing the shrunk stimulus literal, so the bug is
+reproducible with ``pytest path/to/repro.py`` and no random state.
+"""
+
+from __future__ import annotations
+
+import pprint
+
+from .cosim import CoSimMismatch, CoSimProtocolError, CoSimTimeout
+
+__all__ = ["shrink_stimulus", "shrink_cosim_failure", "emit_repro"]
+
+
+def _flatten(stimulus):
+    return [(ch, payload)
+            for ch in sorted(stimulus)
+            for payload in stimulus[ch]]
+
+
+def _rebuild(events, channels):
+    stimulus = {ch: [] for ch in channels}
+    for ch, payload in events:
+        stimulus[ch].append(payload)
+    return stimulus
+
+
+def shrink_stimulus(stimulus, still_fails, max_runs=250):
+    """Greedy delta-debugging over a per-channel stimulus dict.
+
+    ``still_fails(candidate)`` re-runs the scenario and reports whether
+    the failure persists.  Transactions are removed in progressively
+    smaller chunks until a fixpoint; at most ``max_runs`` re-executions
+    are spent.  Returns the shrunk stimulus (per-channel order of the
+    surviving transactions is preserved).
+    """
+    channels = list(stimulus)
+    events = _flatten(stimulus)
+    runs = 0
+    chunk = max(1, len(events) // 2)
+    while chunk >= 1 and runs < max_runs:
+        i = 0
+        removed = False
+        while i < len(events) and runs < max_runs:
+            candidate = events[:i] + events[i + chunk:]
+            runs += 1
+            if still_fails(_rebuild(candidate, channels)):
+                events = candidate
+                removed = True
+            else:
+                i += chunk
+        if chunk == 1 and not removed:
+            break
+        chunk = max(1, chunk // 2) if chunk > 1 else 1
+        if chunk == 1 and not events:
+            break
+    return _rebuild(events, channels)
+
+
+def shrink_cosim_failure(make_harness, stimulus, run_kwargs=None,
+                         max_runs=250):
+    """Shrink a failing co-simulation scenario.
+
+    ``make_harness()`` must build a *fresh* :class:`CoSimHarness` (DUT
+    simulators are stateful and cannot be re-run).  Only
+    :class:`CoSimMismatch` counts as "still failing" — a candidate that
+    times out or trips a protocol check instead is treated as passing,
+    so the shrink cannot wander to a different bug.
+
+    Returns ``(shrunk_stimulus, mismatch)`` where ``mismatch`` is the
+    :class:`CoSimMismatch` raised by the final shrunk run (with its
+    divergence line traces).
+    """
+    run_kwargs = dict(run_kwargs or {})
+
+    def still_fails(candidate):
+        try:
+            make_harness().run(candidate, **run_kwargs)
+        except CoSimMismatch:
+            return True
+        except (CoSimProtocolError, CoSimTimeout):
+            return False
+        return False
+
+    if not still_fails(stimulus):
+        raise ValueError("scenario does not fail; nothing to shrink")
+    shrunk = shrink_stimulus(stimulus, still_fails, max_runs=max_runs)
+    try:
+        make_harness().run(shrunk, **run_kwargs)
+    except CoSimMismatch as exc:
+        return shrunk, exc
+    raise AssertionError(
+        "shrunk stimulus no longer fails (non-deterministic harness?)")
+
+
+_REPRO_TEMPLATE = '''\
+"""Auto-generated differential-testing repro.
+
+{note}
+Re-run with:  PYTHONPATH=src python -m pytest {{this_file}} -x
+The test FAILS (CoSimMismatch) while the bug is present and passes
+once the implementations agree again.
+"""
+
+{build_src}
+
+STIMULUS = {stimulus}
+
+RUN_KWARGS = {run_kwargs}
+
+
+def test_repro():
+    make_cosim().run(STIMULUS, **RUN_KWARGS)
+'''
+
+
+def emit_repro(path, build_src, stimulus, run_kwargs=None, note="",
+               mismatch=None):
+    """Write a standalone pytest repro file.
+
+    ``build_src`` is Python source defining ``make_cosim()`` returning
+    a fresh :class:`CoSimHarness` for the implementations under test.
+    The divergence summary and line traces of ``mismatch`` (if given)
+    are appended as a comment so the file is self-describing.
+    """
+    text = _REPRO_TEMPLATE.format(
+        note=note or "Shrunk by repro.verif.shrink.",
+        build_src=build_src.strip(),
+        stimulus=pprint.pformat(stimulus, width=72),
+        run_kwargs=pprint.pformat(dict(run_kwargs or {}), width=72),
+    )
+    if mismatch is not None:
+        lines = str(mismatch).splitlines()
+        text += "\n\n# Divergence at generation time:\n"
+        text += "".join(f"# {line}\n" for line in lines)
+    with open(path, "w") as f:
+        f.write(text)
+    return path

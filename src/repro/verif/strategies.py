@@ -1,0 +1,241 @@
+"""Constrained-random value and transaction generators.
+
+The differential harness (:mod:`.cosim`) needs stimulus that is (a)
+reproducible from a single integer seed, (b) biased toward the corner
+values where HDL-style arithmetic goes wrong (zero, all-ones, sign
+boundaries, one-hot patterns), and (c) shaped like real traffic
+(bursts, idle gaps, backpressure).  Strategies are small objects with a
+``sample(rng)`` method; everything downstream of one ``RNG`` seed is
+deterministic, so a failing run can be replayed — and shrunk
+(:mod:`.shrink`) — exactly.
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+
+from ..core.bits import Bits
+from ..core.bitstruct import BitStruct
+
+__all__ = [
+    "RNG",
+    "BitsStrategy",
+    "BitStructStrategy",
+    "ChoiceStrategy",
+    "IntRangeStrategy",
+    "mem_request_strategy",
+    "net_message_strategy",
+    "backpressure_pattern",
+    "presence_pattern",
+]
+
+
+class RNG(random.Random):
+    """Seedable random stream with deterministic named substreams.
+
+    ``fork(label)`` derives an independent stream from the parent seed
+    and a string label, so adding one more consumer of randomness never
+    perturbs the values every *other* consumer sees — the property that
+    keeps shrunk repros stable across harness refactors.
+    """
+
+    def __init__(self, seed=0):
+        self._seed = int(seed)
+        super().__init__(self._seed)
+
+    def fork(self, label):
+        mix = zlib.crc32(str(label).encode()) & 0xFFFFFFFF
+        return RNG(self._seed * 0x9E3779B1 + mix)
+
+
+def _corner_values(nbits):
+    """Classic trouble spots for ``nbits``-wide arithmetic."""
+    top = (1 << nbits) - 1
+    corners = {0, 1, top, top - 1}
+    if nbits > 1:
+        sign = 1 << (nbits - 1)
+        corners.update((sign, sign - 1, sign + 1))
+    for shift in range(nbits):
+        corners.add(1 << shift)
+    return sorted(v for v in corners if 0 <= v <= top)
+
+
+class BitsStrategy:
+    """Random ``nbits``-wide values, biased toward corner cases.
+
+    ``corner_bias`` is the probability of drawing from the corner set
+    (0, 1, max, max-1, the signed boundary, one-hot patterns) instead
+    of a uniform value.
+    """
+
+    def __init__(self, nbits, corner_bias=0.25):
+        self.nbits = nbits
+        self.corner_bias = corner_bias
+        self._corners = _corner_values(nbits)
+
+    def sample(self, rng):
+        if rng.random() < self.corner_bias:
+            return rng.choice(self._corners)
+        return rng.getrandbits(self.nbits)
+
+
+class IntRangeStrategy:
+    """Uniform integers in ``[lo, hi]`` (inclusive), with a bias toward
+    the endpoints."""
+
+    def __init__(self, lo, hi, corner_bias=0.1):
+        if lo > hi:
+            raise ValueError(f"empty range [{lo}, {hi}]")
+        self.lo, self.hi = lo, hi
+        self.corner_bias = corner_bias
+
+    def sample(self, rng):
+        if rng.random() < self.corner_bias:
+            return rng.choice((self.lo, self.hi))
+        return rng.randint(self.lo, self.hi)
+
+
+class ChoiceStrategy:
+    """Weighted choice over a fixed population.
+
+    ``choices`` is a list of values or ``(value, weight)`` pairs.
+    """
+
+    def __init__(self, choices):
+        population, weights = [], []
+        for item in choices:
+            if isinstance(item, tuple) and len(item) == 2:
+                value, weight = item
+            else:
+                value, weight = item, 1.0
+            population.append(value)
+            weights.append(float(weight))
+        self._population = population
+        self._weights = weights
+
+    def sample(self, rng):
+        return rng.choices(self._population, weights=self._weights)[0]
+
+
+class BitStructStrategy:
+    """Samples a packed-``int`` value of a ``BitStruct`` message type.
+
+    By default every field is drawn from a corner-biased
+    :class:`BitsStrategy` of its width; ``overrides`` maps field names
+    to replacement strategies (anything with ``sample(rng)``).
+
+    Returns plain ints (the packed representation) because that is what
+    the simulator nets store and what the cosim harness diffs.
+    """
+
+    def __init__(self, struct_cls, overrides=None, corner_bias=0.25):
+        if not (isinstance(struct_cls, type)
+                and issubclass(struct_cls, BitStruct)):
+            raise TypeError(f"not a BitStruct subclass: {struct_cls!r}")
+        self.struct_cls = struct_cls
+        overrides = overrides or {}
+        unknown = set(overrides) - set(struct_cls.field_names())
+        if unknown:
+            raise ValueError(
+                f"override for unknown field(s) {sorted(unknown)} of "
+                f"{struct_cls.__name__}")
+        self._fields = []
+        for field in struct_cls._fields:
+            strat = overrides.get(
+                field.name, BitsStrategy(field.nbits, corner_bias))
+            self._fields.append((field.lo, field.nbits, strat))
+
+    def sample(self, rng):
+        packed = 0
+        for lo, nbits, strat in self._fields:
+            value = int(strat.sample(rng)) & ((1 << nbits) - 1)
+            packed |= value << lo
+        return packed
+
+    def unpack(self, packed):
+        """Decode a packed int back into a ``BitStruct`` instance (for
+        trace messages and coverage classification)."""
+        return self.struct_cls(Bits(self.struct_cls.nbits, packed))
+
+
+def mem_request_strategy(addr_words=64, addr_base=0, write_frac=0.4,
+                         data_nbits=32, corner_bias=0.3):
+    """Strategy producing packed ``MemReqMsg`` ints.
+
+    Addresses are word-aligned inside a ``addr_words``-word window
+    starting at ``addr_base`` — small enough that random traffic
+    actually produces cache hits, evictions, and same-line read/write
+    interleavings instead of compulsory misses forever.
+    """
+    from ..mem.msgs import MEM_REQ_READ, MEM_REQ_WRITE, MemReqMsg
+
+    word = IntRangeStrategy(0, addr_words - 1)
+    data = BitsStrategy(data_nbits, corner_bias)
+    type_ = ChoiceStrategy(
+        [(MEM_REQ_WRITE, write_frac), (MEM_REQ_READ, 1.0 - write_frac)])
+
+    class _MemReqStrategy:
+        struct_cls = MemReqMsg
+
+        def sample(self, rng):
+            msg = MemReqMsg()
+            msg.type_ = type_.sample(rng)
+            msg.addr = addr_base + 4 * word.sample(rng)
+            msg.data = data.sample(rng)
+            return int(msg.to_bits())
+
+        def unpack(self, packed):
+            return MemReqMsg(Bits(MemReqMsg.nbits, packed))
+
+    return _MemReqStrategy()
+
+
+def net_message_strategy(msg_type, src, nterminals, corner_bias=0.25):
+    """Strategy producing packed ``NetMsg`` ints injected at terminal
+    ``src`` with a uniformly random destination (self-sends included —
+    routers must handle them)."""
+    dest = IntRangeStrategy(0, nterminals - 1, corner_bias=0.0)
+    return BitStructStrategy(
+        msg_type, corner_bias=corner_bias,
+        overrides={
+            "src": ChoiceStrategy([src]),
+            "dest": dest,
+        })
+
+
+# -- cycle patterns -----------------------------------------------------------
+#
+# Backpressure and injection-presence schedules must be pure functions
+# of the cycle index: every co-simulated implementation has to see the
+# *same* rdy wiggle on the same cycle or cycle-exact comparison would
+# diff the testbench instead of the DUTs.
+
+
+def backpressure_pattern(kind="random", p=0.7, burst=4, seed=0):
+    """Return ``f(cycle) -> bool`` deciding sink readiness per cycle.
+
+    - ``"always"`` — sink always ready (max throughput);
+    - ``"random"`` — ready with probability ``p`` per cycle;
+    - ``"bursty"`` — ``burst`` ready cycles, ``burst`` stalled cycles;
+    - ``"never_first"`` — stalled for ``burst`` cycles, then always
+      ready (stresses fill-up/drain transients).
+    """
+    if kind == "always":
+        return lambda cycle: True
+    if kind == "random":
+        def rand(cycle):
+            mix = zlib.crc32(f"{seed}:{cycle}".encode()) & 0xFFFFFFFF
+            return (mix / 0xFFFFFFFF) < p
+        return rand
+    if kind == "bursty":
+        return lambda cycle: (cycle // burst) % 2 == 0
+    if kind == "never_first":
+        return lambda cycle: cycle >= burst
+    raise ValueError(f"unknown backpressure kind {kind!r}")
+
+
+def presence_pattern(kind="always", p=0.8, burst=4, seed=0):
+    """Return ``f(cycle) -> bool`` deciding whether the source *offers*
+    its next transaction this cycle (idle gaps in the request stream)."""
+    return backpressure_pattern(kind, p=p, burst=burst, seed=seed + 0x5EED)

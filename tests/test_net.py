@@ -188,3 +188,65 @@ def test_mesh_line_trace():
     net = _mesh(RouterCL, 4)
     SimulationTool(net)
     assert "|" in net.line_trace()
+
+
+# -- arbitration grant holding ------------------------------------------------
+
+
+@pytest.mark.parametrize("router_cls", [RouterCL, RouterRTL],
+                         ids=["cl", "rtl"])
+def test_router_holds_stalled_offer(router_cls):
+    """Regression (found by the differential cosim harness): while an
+    output offer is stalled (val=1, rdy=0) the router must not
+    re-arbitrate it away — a competing input with better round-robin
+    priority used to replace the offered payload mid-stall, violating
+    val/rdy payload stability."""
+    router = router_cls(0, 4, NMSGS, DATA_NBITS, NENTRIES).elaborate()
+    sim = SimulationTool(router)
+    sim.reset()
+    pkt_a, pkt_b = 0xAA, 0xBB        # dest=0: both route to TERM
+
+    def put(port, pkt):
+        router.in_[port].msg.value = pkt
+        router.in_[port].val.value = 1
+        for _ in range(10):
+            sim.eval_combinational()
+            if router.in_[port].rdy.uint():
+                break
+            sim.cycle()
+        else:
+            raise AssertionError("input never accepted")
+        sim.cycle()
+        router.in_[port].val.value = 0
+
+    router.out[0].rdy.value = 0
+    put(2, pkt_a)                     # arrives first, via input 2
+    for _ in range(10):               # let the offer reach out[0]
+        sim.eval_combinational()
+        if router.out[0].val.uint():
+            break
+        sim.cycle()
+    else:
+        raise AssertionError("offer never appeared")
+    assert router.out[0].msg.uint() == pkt_a
+
+    # A competing packet on input 1 (better round-robin priority) must
+    # not displace the stalled offer.
+    put(1, pkt_b)
+    for _ in range(5):
+        sim.eval_combinational()
+        assert router.out[0].val.uint() == 1
+        assert router.out[0].msg.uint() == pkt_a
+        sim.cycle()
+
+    # Release the stall: both packets drain, the held offer first.
+    router.out[0].rdy.value = 1
+    delivered = []
+    for _ in range(10):
+        sim.eval_combinational()
+        if router.out[0].val.uint():
+            delivered.append(router.out[0].msg.uint())
+        sim.cycle()
+        if len(delivered) == 2:
+            break
+    assert delivered == [pkt_a, pkt_b]

@@ -1,0 +1,172 @@
+"""Random-seed differential-fuzz driver for the CI ``verif-fuzz`` job.
+
+Not collected by pytest (no ``test_`` prefix): run it as a script.
+Picks a fresh seed (or takes ``--seed``), runs moderate co-simulation
+sweeps over the cache, mesh, and processor, and — on a mismatch —
+shrinks the failure and writes a standalone pytest repro plus the
+divergence report into ``--out`` so CI can upload them as artifacts.
+
+    PYTHONPATH=src python tests/verif_fuzz.py --out verif-artifacts
+"""
+
+import argparse
+import secrets
+import sys
+from pathlib import Path
+
+from repro.net import NetMsg
+from repro.proc import assemble
+from repro.verif import (
+    RNG,
+    CoSimHarness,
+    CoSimMismatch,
+    backpressure_pattern,
+    emit_repro,
+    make_cache_dut,
+    make_mesh_dut,
+    make_proc_dut,
+    mem_request_strategy,
+    net_message_strategy,
+    presence_pattern,
+    random_minrisc_program,
+    shrink_cosim_failure,
+)
+
+_CACHE_BUILD = """\
+from repro.verif import CoSimHarness, make_cache_dut
+
+
+def make_cosim():
+    return CoSimHarness(
+        [make_cache_dut("event", "rtl", sched="event"),
+         make_cache_dut("static", "rtl", sched="static"),
+         make_cache_dut("jit", "rtl", jit=True)],
+        compare="cycle_exact")
+"""
+
+_MESH_BUILD = """\
+from repro.verif import CoSimHarness, make_mesh_dut
+
+
+def make_cosim():
+    return CoSimHarness(
+        [make_mesh_dut("event", "rtl", sched="event"),
+         make_mesh_dut("static", "rtl", sched="static"),
+         make_mesh_dut("jit", "rtl", jit=True)],
+        compare="cycle_exact")
+"""
+
+
+def _cache_scenario(seed):
+    rng = RNG(seed).fork("fuzz-cache")
+    strat = mem_request_strategy()
+    stimulus = {"req": [strat.sample(rng) for _ in range(400)]}
+    run_kwargs = {
+        "backpressure": backpressure_pattern("random", p=0.75,
+                                             seed=seed),
+        "presence": presence_pattern("random", p=0.85, seed=seed),
+    }
+
+    def make():
+        return CoSimHarness(
+            [make_cache_dut("event", "rtl", sched="event"),
+             make_cache_dut("static", "rtl", sched="static"),
+             make_cache_dut("jit", "rtl", jit=True)],
+            compare="cycle_exact")
+
+    return make, stimulus, run_kwargs, _CACHE_BUILD
+
+
+def _mesh_scenario(seed):
+    rng = RNG(seed).fork("fuzz-mesh")
+    msg_type = NetMsg(4, 256, 16)
+    stimulus = {}
+    for src in range(4):
+        port_rng = rng.fork(f"port{src}")
+        strat = net_message_strategy(msg_type, src, 4)
+        stimulus[f"in{src}"] = [strat.sample(port_rng)
+                                for _ in range(100)]
+    run_kwargs = {
+        "backpressure": backpressure_pattern("bursty", burst=3),
+        "presence": presence_pattern("random", p=0.8, seed=seed),
+    }
+
+    def make():
+        return CoSimHarness(
+            [make_mesh_dut("event", "rtl", sched="event"),
+             make_mesh_dut("static", "rtl", sched="static"),
+             make_mesh_dut("jit", "rtl", jit=True)],
+            compare="cycle_exact")
+
+    return make, stimulus, run_kwargs, _MESH_BUILD
+
+
+def _proc_scenario(seed):
+    rng = RNG(seed).fork("fuzz-proc")
+    words = assemble(random_minrisc_program(
+        rng, length=200, store_frac=0.3))
+
+    def make():
+        return CoSimHarness(
+            [make_proc_dut(lvl, lvl, words)
+             for lvl in ("fl", "cl", "rtl")],
+            compare="cycle_tolerant")
+
+    # Self-running: no stimulus to shrink; a repro is the seed itself.
+    return make, {}, {"max_cycles": 100_000}, None
+
+
+SCENARIOS = {
+    "cache": _cache_scenario,
+    "mesh": _mesh_scenario,
+    "proc": _proc_scenario,
+}
+
+
+def run_one(name, seed, out_dir):
+    make, stimulus, run_kwargs, build_src = SCENARIOS[name](seed)
+    try:
+        result = make().run(stimulus, **run_kwargs)
+    except CoSimMismatch as exc:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        report = out_dir / f"divergence_{name}_seed{seed}.txt"
+        report.write_text(f"seed: {seed}\nscenario: {name}\n\n{exc}\n")
+        print(f"[verif-fuzz] {name}: MISMATCH (seed {seed}), "
+              f"report -> {report}")
+        if build_src is not None and stimulus:
+            shrunk, mismatch = shrink_cosim_failure(
+                make, stimulus, run_kwargs, max_runs=200)
+            repro = out_dir / f"repro_{name}_seed{seed}.py"
+            emit_repro(repro, build_src, shrunk, run_kwargs,
+                       note=f"Found by verif_fuzz seed {seed}.",
+                       mismatch=mismatch)
+            print(f"[verif-fuzz] shrunk to "
+                  f"{sum(len(v) for v in shrunk.values())} "
+                  f"transactions -> {repro}")
+        return False
+    ntxn = result.ntransactions()
+    print(f"[verif-fuzz] {name}: ok ({ntxn} transactions)")
+    print(result.coverage.report())
+    return True
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=None,
+                        help="seed (default: random)")
+    parser.add_argument("--out", default="verif-artifacts",
+                        help="directory for failure artifacts")
+    parser.add_argument("--scenario", choices=sorted(SCENARIOS),
+                        action="append",
+                        help="run a subset (default: all)")
+    args = parser.parse_args(argv)
+    seed = args.seed if args.seed is not None else secrets.randbits(32)
+    print(f"[verif-fuzz] seed = {seed}")
+    out_dir = Path(args.out)
+    names = args.scenario or sorted(SCENARIOS)
+    ok = all([run_one(name, seed, out_dir) for name in names])
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
