@@ -1,0 +1,211 @@
+"""Telemetry overhead: the observability tax at each opt-in level.
+
+The telemetry subsystem's contract is *pay only for what you turn
+on*.  This bench quantifies that on an RTL mesh by measuring
+interpreted-loop cycles/sec at five configurations:
+
+- ``baseline``  — raw mega-cycle kernel calls in a bare loop, on a
+  design constructed with telemetry disabled.  This is the PR-1
+  fast path: no telemetry objects exist anywhere.
+- ``disabled``  — ``sim.run()`` on the same disabled-telemetry
+  design.  The **asserted** contract: within ``MAX_OVERHEAD`` (2%)
+  of baseline, i.e. constructing the telemetry machinery and leaving
+  it off costs nothing measurable.
+- ``counters``  — telemetry enabled.  Wire-backed counters compile
+  into the kernel; the cost is the extra telemetry tick blocks
+  (self-retriggering, so they defeat activity gating).
+- ``trace``     — counters plus a :class:`TxTracer` tapping every
+  terminal port.  Taps are cycle hooks, which force the interpreted
+  path; this is the price of full transaction visibility.
+- ``profile``   — ``profile=True``: per-block and per-phase host-time
+  attribution, the most invasive mode.
+
+The enabled modes are reported, not asserted — their cost is the
+feature, not a regression.  ``BENCH_QUICK=1`` shrinks the mesh and
+cycle counts for CI smoke runs.  Results land in
+``benchmarks/results/BENCH_telemetry.json``.
+"""
+
+import os
+import time
+
+from common import format_table, write_json_result, write_result
+from repro import SimulationTool, set_telemetry_enabled
+from repro.net import MeshNetworkStructural, RouterRTL
+
+QUICK = os.environ.get("BENCH_QUICK", "0").strip().lower() not in (
+    "", "0", "false", "no")
+
+NROUTERS = 16 if QUICK else 64
+MIN_REP_SECONDS = 0.1 if QUICK else 0.25
+REPS = 3 if QUICK else 6
+MAX_OVERHEAD = 0.02
+
+
+def _build(enabled):
+    prev = set_telemetry_enabled(enabled)
+    try:
+        net = MeshNetworkStructural(
+            RouterRTL, NROUTERS, 256, 32, 2).elaborate()
+    finally:
+        set_telemetry_enabled(prev)
+    return net
+
+
+def _inject(net):
+    """Light standing traffic so counters/taps have work to observe."""
+    dest_shift = net.msg_type.field_slice("dest")[0]
+    for port in net.out:
+        port.rdy.value = 1
+    net.in_[0].msg.value = (NROUTERS - 1) << dest_shift
+    net.in_[0].val.value = 1
+
+
+def _calibrate(fn):
+    """Grow the rep length until one rep runs at least MIN_REP_SECONDS
+    — idle-mesh kernel cycles are sub-microsecond, far below timer
+    resolution at fixed small N."""
+    ncycles = 64
+    while True:
+        start = time.process_time()
+        fn(ncycles)
+        elapsed = time.process_time() - start
+        if elapsed >= MIN_REP_SECONDS:
+            return ncycles, elapsed
+        ncycles *= 4
+
+
+def _best_of(fn):
+    ncycles, first = _calibrate(fn)
+    best = first
+    for _ in range(REPS - 1):
+        start = time.process_time()
+        fn(ncycles)
+        best = min(best, time.process_time() - start)
+    return ncycles, ncycles / best
+
+
+def _best_of_paired(fn_a, fn_b):
+    """Time two workloads with alternating reps so slow drift in host
+    CPU speed (thermal / frequency scaling) hits both equally — the
+    only honest way to resolve a 2% difference between them."""
+    ncycles, _ = _calibrate(fn_a)
+    best_a = best_b = float("inf")
+    for rep in range(2 * REPS):
+        # Swap which workload goes first each rep: under thermal
+        # throttling the second slot is systematically slower.
+        first, second = (fn_a, fn_b) if rep % 2 == 0 else (fn_b, fn_a)
+        start = time.process_time()
+        first(ncycles)
+        mid = time.process_time()
+        second(ncycles)
+        end = time.process_time()
+        t_first, t_second = mid - start, end - mid
+        t_a, t_b = ((t_first, t_second) if rep % 2 == 0
+                    else (t_second, t_first))
+        best_a = min(best_a, t_a)
+        best_b = min(best_b, t_b)
+    return ncycles, ncycles / best_a, ncycles / best_b
+
+
+def _kernel_pair():
+    """(baseline_fn, disabled_fn) over the same disabled-telemetry
+    design: a bare kernel loop vs the full ``sim.run()`` entry point
+    with telemetry machinery constructed but off."""
+    sim = SimulationTool(_build(False), sched="static")
+    assert sim._kernel is not None
+    sim.reset()
+    kernel = sim._kernel
+
+    def baseline(n):
+        for _ in range(n):
+            kernel()
+
+    return baseline, sim.run
+
+
+def _measure(config):
+    if config == "counters":
+        net = _build(True)
+        sim = SimulationTool(net, sched="static")
+        assert sim._kernel is not None
+        sim.reset()
+        _inject(net)
+        fn = sim.run
+
+    elif config == "trace":
+        net = _build(True)
+        sim = SimulationTool(net, sched="static")
+        tracer = sim.telemetry.trace()
+        tracer.tap_model(net)
+        sim.reset()
+        _inject(net)
+        fn = sim.run
+
+    elif config == "profile":
+        net = _build(True)
+        sim = SimulationTool(net, sched="static", profile=True)
+        assert sim._kernel is None
+        sim.reset()
+        _inject(net)
+        fn = sim.run
+
+    else:
+        raise ValueError(config)
+
+    ncycles, cycles_per_sec = _best_of(fn)
+    return {"config": config, "cycles": ncycles,
+            "cycles_per_sec": cycles_per_sec}
+
+
+def test_telemetry_overhead(benchmark):
+    entries = []
+
+    def run_all():
+        baseline_fn, disabled_fn = _kernel_pair()
+        ncycles, base_cps, dis_cps = _best_of_paired(
+            baseline_fn, disabled_fn)
+        entries.append({"config": "baseline", "cycles": ncycles,
+                        "cycles_per_sec": base_cps})
+        entries.append({"config": "disabled", "cycles": ncycles,
+                        "cycles_per_sec": dis_cps})
+        for config in ("counters", "trace", "profile"):
+            entries.append(_measure(config))
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    by_config = {e["config"]: e for e in entries}
+    base = by_config["baseline"]["cycles_per_sec"]
+    rows = []
+    for entry in entries:
+        slowdown = base / entry["cycles_per_sec"]
+        entry["slowdown_vs_baseline"] = slowdown
+        rows.append([
+            entry["config"], entry["cycles"],
+            f"{entry['cycles_per_sec']:.0f}", f"{slowdown:.3f}x",
+        ])
+
+    text = format_table(
+        f"Telemetry overhead ({NROUTERS}-router RTL mesh, interpreted)",
+        ["config", "cycles", "cyc/s", "slowdown"],
+        rows,
+    )
+    write_result("telemetry_overhead.txt", text)
+    write_json_result(
+        "telemetry", entries, quick=QUICK,
+        nrouters=NROUTERS, max_overhead=MAX_OVERHEAD)
+
+    # The asserted contract: telemetry constructed but disabled is
+    # indistinguishable from the bare kernel loop.
+    disabled = by_config["disabled"]["slowdown_vs_baseline"]
+    assert disabled < 1.0 + MAX_OVERHEAD, (
+        f"disabled telemetry costs {(disabled - 1) * 100:.1f}% "
+        f"(budget {MAX_OVERHEAD * 100:.0f}%)")
+
+
+if __name__ == "__main__":
+    class _Pedantic:
+        def pedantic(self, fn, rounds=1, iterations=1):
+            fn()
+
+    test_telemetry_overhead(_Pedantic())

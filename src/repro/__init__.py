@@ -67,6 +67,13 @@ from .core import (
 
 from .core.translation import TranslationTool, translate
 from .core.simjit import SimJITCL, SimJITRTL, auto_specialize
+from .telemetry import (
+    Telemetry,
+    TelemetryReport,
+    TxTracer,
+    set_enabled as set_telemetry_enabled,
+    enabled as telemetry_enabled,
+)
 
 __version__ = "0.1.0"
 
@@ -82,5 +89,7 @@ __all__ = [
     "bw", "clog2", "concat", "sext", "zext",
     "TranslationTool", "translate",
     "SimJITRTL", "SimJITCL", "auto_specialize",
+    "Telemetry", "TelemetryReport", "TxTracer",
+    "set_telemetry_enabled", "telemetry_enabled",
     "__version__",
 ]

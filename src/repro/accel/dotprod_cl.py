@@ -54,6 +54,10 @@ class DotProductCL(Model):
         s.data = []
         s.addrs = []
 
+        s.ctr_ops = s.counter("xcel_ops", "dot products computed")
+        s.ctr_mem_reads = s.counter(
+            "mem_reads", "vector elements fetched from memory")
+
         @s.tick_cl
         def logic():
             s.cpu.xtick()
@@ -68,6 +72,7 @@ class DotProductCL(Model):
             if s.go:
                 if s.addrs and not s.mem.req_q.full():
                     s.mem.push_req(MemReqMsg.mk_rd(s.addrs.pop()))
+                    s.ctr_mem_reads.incr()
                 if not s.mem.resp_q.empty():
                     s.data.append(int(s.mem.get_resp().data))
 
@@ -77,6 +82,7 @@ class DotProductCL(Model):
                         numpy.array(s.data[1::2], dtype=object),
                     )
                     s.cpu.push_resp(XcelRespMsg.mk(int(result) & 0xFFFFFFFF))
+                    s.ctr_ops.incr()
                     s.go = False
 
             elif not s.cpu.req_q.empty() and not s.cpu.resp_q.full():

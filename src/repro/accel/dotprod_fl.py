@@ -33,6 +33,10 @@ class DotProductFL(Model):
         s.src0 = ListMemPortAdapter(s.mem_ifc)
         s.src1 = ListMemPortAdapter(s.mem_ifc)
 
+        s.ctr_ops = s.counter("xcel_ops", "dot products computed")
+        s.ctr_mem_reads = s.counter(
+            "mem_reads", "vector elements fetched from memory")
+
         @s.tick_fl
         def logic():
             s.cpu.xtick()
@@ -50,6 +54,8 @@ class DotProductFL(Model):
                         numpy.array(list(s.src0), dtype=object),
                         numpy.array(list(s.src1), dtype=object),
                     )
+                    s.ctr_ops.incr()
+                    s.ctr_mem_reads.incr(len(s.src0) + len(s.src1))
                     s.cpu.push_resp(XcelRespMsg.mk(int(result) & 0xFFFFFFFF))
 
     def line_trace(s):

@@ -241,6 +241,32 @@ class DotProductRTL(Model):
         s.connect(s.cpu_ifc, s.ctrl.cpu_ifc)
         s.connect(s.mem_ifc, s.ctrl.mem_ifc)
 
+        from ..telemetry.counters import enabled as _telemetry_enabled
+        if _telemetry_enabled():
+            # Handshake-observing telemetry registers on the top-level
+            # bundles; declared only when telemetry is enabled so the
+            # disabled design is structurally unchanged.
+            s.op_count = Wire(32)
+            s.mem_read_count = Wire(32)
+            s.counter("xcel_ops", "dot products computed",
+                      sig=s.op_count)
+            s.counter("mem_reads",
+                      "vector elements fetched from memory",
+                      sig=s.mem_read_count)
+
+            @s.tick_rtl
+            def telemetry_logic():
+                if s.reset:
+                    s.op_count.next = 0
+                    s.mem_read_count.next = 0
+                else:
+                    if s.cpu_ifc.resp_val.uint() \
+                            and s.cpu_ifc.resp_rdy.uint():
+                        s.op_count.next = s.op_count + 1
+                    if s.mem_ifc.req_val.uint() \
+                            and s.mem_ifc.req_rdy.uint():
+                        s.mem_read_count.next = s.mem_read_count + 1
+
     def line_trace(s):
         return (f"st={int(s.ctrl.state)} sent={int(s.dpath.sent)} "
                 f"got={int(s.dpath.got)} acc={int(s.dpath.accum_A):x}")

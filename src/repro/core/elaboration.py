@@ -99,11 +99,24 @@ def elaborate(top):
         for blk in model._tick_blocks:
             _analyze_tick(blk)
 
+    # Hierarchical telemetry registries: counters/histograms declared
+    # via Model.counter()/Model.histogram(), keyed by full dotted name.
+    all_counters = {}
+    all_histograms = {}
+    for model in all_models:
+        prefix = model.full_name()
+        for cname, ctr in model._telemetry_counters.items():
+            all_counters[f"{prefix}.{cname}"] = ctr
+        for hname, hist in model._telemetry_histograms.items():
+            all_histograms[f"{prefix}.{hname}"] = hist
+
     top._all_models = all_models
     top._all_signals = all_signals
     top._all_nets = all_nets
     top._connectors = connectors
     top._const_ties = const_ties
+    top._all_counters = all_counters
+    top._all_histograms = all_histograms
     for model in all_models:
         model._elaborated = True
     return top

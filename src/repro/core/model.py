@@ -90,6 +90,8 @@ class Model:
         self._comb_blocks = []
         self._submodels = []
         self._elaborated = False
+        self._telemetry_counters = {}
+        self._telemetry_histograms = {}
         self.name = None
         self.parent = None
         # Implicit signals every model has (used by RTL reset logic and
@@ -122,6 +124,51 @@ class Model:
 
     # Verilog-flavored alias
     posedge_clk = tick_rtl
+
+    # -- telemetry declaration ----------------------------------------------
+
+    def counter(self, name, desc="", sig=None, state=None):
+        """Declare a named performance counter on this model.
+
+        With no backing, returns a python-kind accumulator to bump
+        with ``.incr()`` from tick code.  ``sig=`` backs the counter
+        by a ``Wire`` the model's RTL already increments; ``state=``
+        backs it by a plain int attribute (``("attr",)``) or a flat
+        int-list element (``("attr", i)``) — the SimJIT-translatable
+        kinds.  The elaborator collects declared counters
+        hierarchically for ``sim.telemetry.report()``.
+
+        When telemetry is globally disabled
+        (:func:`repro.telemetry.set_enabled`), nothing is registered:
+        unbacked declarations return a shared no-op
+        :class:`~repro.telemetry.counters.NullCounter`, and backed
+        declarations return an unregistered reader.
+        """
+        from ..telemetry.counters import NULL_COUNTER, Counter, enabled
+        if not enabled():
+            if sig is None and state is None:
+                return NULL_COUNTER
+            return Counter(name, desc=desc, owner=self, sig=sig,
+                           state=state)
+        if name in self._telemetry_counters:
+            raise ValueError(
+                f"duplicate counter {name!r} on {type(self).__name__}")
+        ctr = Counter(name, desc=desc, owner=self, sig=sig, state=state)
+        self._telemetry_counters[name] = ctr
+        return ctr
+
+    def histogram(self, name, desc=""):
+        """Declare a named histogram (``.observe(value)`` from tick
+        code); collected like :meth:`counter`."""
+        from ..telemetry.counters import NULL_HISTOGRAM, Histogram, enabled
+        if not enabled():
+            return NULL_HISTOGRAM
+        if name in self._telemetry_histograms:
+            raise ValueError(
+                f"duplicate histogram {name!r} on {type(self).__name__}")
+        hist = Histogram(name, desc=desc, owner=self)
+        self._telemetry_histograms[name] = hist
+        return hist
 
     # -- structural connectivity --------------------------------------------
 
@@ -188,7 +235,10 @@ class Model:
 
     def full_name(self):
         """Hierarchical dotted name (``top.child.grandchild``)."""
-        if self.parent is None:
+        # A model may declare its own attribute named ``parent`` (e.g.
+        # a ParentReqRespBundle); only a Model parent is the hierarchy
+        # pointer.
+        if not isinstance(self.parent, Model):
             return self.name or type(self).__name__.lower()
         return f"{self.parent.full_name()}.{self.name}"
 

@@ -130,7 +130,11 @@ int cycle(void *p, int n) {
 }
 
 int64_t get_state(void *p, int idx) {
-    return state_probe((inst_t *)p, idx);
+    return state_probe_at((inst_t *)p, idx, 0);
+}
+
+int64_t get_state_at(void *p, int idx, int elem) {
+    return state_probe_at((inst_t *)p, idx, elem);
 }
 
 void get_nets(void *p, const int *idxs, int n, uint64_t *out) {
@@ -151,6 +155,7 @@ void get_net(void *p, int idx, uint64_t *out);
 int eval_comb(void *p);
 int cycle(void *p, int n);
 int64_t get_state(void *p, int idx);
+int64_t get_state_at(void *p, int idx, int elem);
 void get_nets(void *p, const int *idxs, int n, uint64_t *out);
 """
 

@@ -63,6 +63,7 @@ class SimJITEngine:
     def __init__(self, model, lib, slot_of, overheads):
         self.model = model
         self.lib = lib
+        self.slot_of = slot_of
         self.inst = lib.new_instance()
         self.overheads = overheads
         import cffi
@@ -270,9 +271,47 @@ class _Specializer:
 
         with _Timer(self.overheads, "simc"):
             wrapper = JITModel(model, engine)
+            self._rebind_telemetry(model, wrapper, engine)
         self.c_source = c_source
         self.lib_path = lib_path
         return wrapper
+
+    def _rebind_telemetry(self, model, wrapper, engine):
+        """Re-point declared counters at compiled state and carry them
+        onto the wrapper, so telemetry survives specialization (the
+        Python tick code that used to advance them no longer runs).
+
+        Signal-backed counters read their net slot; state-backed ones
+        read the namespaced CL state variable.  Python-kind counters
+        (and histograms) are carried over as-is — their values freeze
+        at specialization time, which the docs call out as a SimJIT
+        limitation.
+        """
+        lib, inst = engine.lib, engine.inst
+        top_prefix = model.full_name() + "."
+        for sub in model._all_models:
+            if sub is model:
+                rel = ""
+            else:
+                rel = sub.full_name()[len(top_prefix):]
+            for cname, ctr in sub._telemetry_counters.items():
+                if ctr._sig is not None:
+                    slot = self._slot_of(ctr._sig)
+                    ctr._jit_read = (
+                        lambda s=slot: engine.raw_get(s))
+                elif ctr._state is not None:
+                    attr, elem = ctr._state
+                    st = f"st_m{self._model_index[id(sub)]}_{attr}"
+                    idx = self._state_index.get(st)
+                    if idx is not None:
+                        ctr._jit_read = (
+                            lambda i=idx, e=(elem or 0):
+                                lib.get_state_at(inst, i, e))
+                key = f"{rel}.{cname}" if rel else cname
+                wrapper._telemetry_counters[key] = ctr
+            for hname, hist in sub._telemetry_histograms.items():
+                key = f"{rel}.{hname}" if rel else hname
+                wrapper._telemetry_histograms[key] = hist
 
     # -- flattening -------------------------------------------------------------
 
@@ -436,18 +475,22 @@ class _Specializer:
             f"  (void)I;\n{run_tick}\n}}"
         )
 
-        # State probe for observability from Python.
+        # State probe for observability from Python.  Element-indexed
+        # so state-backed counters over int-list entries stay readable
+        # after specialization.
         probes = []
         for i, (cname, (_, _, size)) in enumerate(state_list):
-            ref = f"I->{cname}" if size == 0 else f"I->{cname}[0]"
+            ref = f"I->{cname}" if size == 0 else f"I->{cname}[elem]"
             probes.append(f"  if (idx == {i}) return {ref};")
         parts.append(
-            "static int64_t state_probe(inst_t *I, int idx) {\n"
-            "  (void)I;\n"
+            "static int64_t state_probe_at(inst_t *I, int idx, "
+            "int elem) {\n"
+            "  (void)I; (void)elem;\n"
             + "\n".join(probes) + "\n  return 0;\n}"
         )
         self._state_index = {cname: i
                              for i, (cname, _) in enumerate(state_list)}
+        self._model_index = model_index
 
         # init_instance(): seed net values, constant ties, CL state.
         init_lines = []

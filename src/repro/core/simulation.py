@@ -46,7 +46,9 @@ settle phase detects true combinational loops instead of hanging.
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
+from time import perf_counter
 
 from .scheduling import build_schedule, generate_kernel
 
@@ -63,7 +65,8 @@ class SimulationTool:
     """Generates and drives a simulator for an elaborated model."""
 
     def __init__(self, model, line_trace=False, vcd=None,
-                 collect_stats=False, sched="auto", trace_depth=0):
+                 collect_stats=False, sched="auto", trace_depth=0,
+                 profile=False):
         if sched not in ("auto", "static", "event"):
             raise ValueError(
                 f"sched must be 'auto', 'static', or 'event'; got {sched!r}"
@@ -73,6 +76,19 @@ class SimulationTool:
         self.model = model
         self.ncycles = 0
         self._line_trace_on = line_trace
+        self._sched_requested = sched
+        self._closed = False
+        # Per-cycle observer hooks (transaction taps): called with the
+        # current cycle number after the pre-edge settle, i.e. seeing
+        # exactly the values the coming clock edge will latch.
+        self._cycle_hooks = []
+        if profile:
+            from ..telemetry.profile import SimProfiler
+            self.profiler = SimProfiler()
+        else:
+            self.profiler = None
+        from ..telemetry.export import Telemetry
+        self.telemetry = Telemetry(self)
         # Ring buffer of the last ``trace_depth`` line traces, used by
         # the differential-verification subsystem to report the cycles
         # leading up to a divergence without paying for full tracing.
@@ -194,12 +210,45 @@ class SimulationTool:
                 self._enqueue(func)
         self.eval_combinational()
 
-        # Fully static design + no stats hooks: compile the flat
-        # mega-cycle kernel (VCD/line-trace stay in cycle()).
-        if (self.sched_mode == "static" and not collect_stats
-                and self.schedule is not None
-                and not self.schedule.event_funcs):
+        # Fully static design + no instrumentation hooks: compile the
+        # flat mega-cycle kernel (VCD/line-trace stay in cycle()).
+        # Declared counters do NOT refuse the kernel: python-kind
+        # increments keep their tick un-gated and signal-backed
+        # increments are ordinary register updates, so counter state
+        # advances identically inside the compiled kernel.
+        refused = []
+        if sched == "event":
+            refused.append("event mode requested (sched='event')")
+        elif self.schedule is None:
+            refused.append(
+                "auto selected event mode (no statically schedulable "
+                "blocks or gateable ticks)")
+        elif self.schedule.event_funcs:
+            refused.append(
+                f"event partition: {len(self.schedule.event_funcs)} "
+                f"block(s) kept event-driven "
+                f"({len(self.schedule.demoted)} in combinational cycles)")
+        if collect_stats:
+            refused.append(
+                "stats hooks: collect_stats=True counts every block call")
+        if profile:
+            refused.append(
+                "profiler hooks: profile=True times every block call")
+        self._kernel_refused = tuple(refused)
+        if not refused:
             self._kernel = generate_kernel(self)
+
+        # A user who explicitly asked for static scheduling but got a
+        # design with nothing to schedule is silently running the event
+        # fixpoint; say so once.
+        if (sched == "static" and self.schedule is not None
+                and not self.schedule.order and not self._gated_ticks):
+            warnings.warn(
+                "sched='static' had no effect: no combinational block "
+                "could be statically scheduled and no tick block is "
+                "gateable, so the design runs on the event-driven "
+                "fixpoint (see sim.sched_info() for the partition)",
+                RuntimeWarning, stacklevel=2)
 
     def _build_tick_plan(self):
         """Partition tick blocks into gated and always-run entries.
@@ -303,17 +352,23 @@ class SimulationTool:
         queue = self._queue
         budget = self._event_budget
         stats = self.block_calls if self.collect_stats else None
+        prof = self.profiler
         events = 0
         while True:
             if self._sdirty:
-                events += self._run_static_pass(stats)
+                events += self._run_static_pass(stats, prof)
             if not queue:
                 if self._sdirty:
                     continue
                 break
             func = queue.popleft()
             func._in_queue = False
-            func()
+            if prof is None:
+                func()
+            else:
+                t0 = perf_counter()
+                func()
+                prof.add_block(func, perf_counter() - t0)
             events += 1
             if stats is not None:
                 stats[func] = stats.get(func, 0) + 1
@@ -324,7 +379,7 @@ class SimulationTool:
                 )
         self.num_events += events
 
-    def _run_static_pass(self, stats=None):
+    def _run_static_pass(self, stats=None, prof=None):
         """One in-order sweep over the static schedule, running exactly
         the flagged blocks.  A block can flag only later slots (the
         order is topological), so one forward ``find`` scan — which
@@ -337,7 +392,12 @@ class SimulationTool:
         while i >= 0:
             sflags[i] = 0
             func = order[i]
-            func()
+            if prof is None:
+                func()
+            else:
+                t0 = perf_counter()
+                func()
+                prof.add_block(func, perf_counter() - t0)
             fired += 1
             if stats is not None:
                 stats[func] = stats.get(func, 0) + 1
@@ -348,10 +408,17 @@ class SimulationTool:
     def cycle(self):
         """Advance simulated time by one clock cycle."""
         kernel = self._kernel
-        if kernel is not None:
+        hooks = self._cycle_hooks
+        if kernel is not None and not hooks:
             kernel()
+        elif self.profiler is not None:
+            self._cycle_profiled(hooks)
         else:
             self.eval_combinational()
+            if hooks:
+                ncycles = self.ncycles
+                for hook in hooks:
+                    hook(ncycles)
             if self._all_ticks_gated:
                 # Declaration order is preserved: slots are assigned in
                 # plan order, so a forward flag scan runs the marked
@@ -390,11 +457,45 @@ class SimulationTool:
         if self._line_trace_on:
             self.print_line_trace()
 
+    def _cycle_profiled(self, hooks):
+        """Interpreted cycle with per-phase host-time attribution.
+
+        Same semantics as the plain path (the tick plan loop handles
+        gated and always-run ticks alike); only timer calls are added,
+        so the profiled run remains representative.
+        """
+        prof = self.profiler
+        t0 = perf_counter()
+        self.eval_combinational()
+        t1 = perf_counter()
+        ncycles = self.ncycles
+        for hook in hooks:
+            hook(ncycles)
+        t2 = perf_counter()
+        tflags = self._tflags
+        for slot, tick in self._tick_plan:
+            if slot >= 0:
+                if not tflags[slot]:
+                    continue
+                tflags[slot] = 0
+            tb = perf_counter()
+            tick()
+            prof.add_block(tick, perf_counter() - tb)
+        t3 = perf_counter()
+        self._flop()
+        t4 = perf_counter()
+        self.eval_combinational()
+        t5 = perf_counter()
+        prof.add_phases(
+            settle_pre=t1 - t0, hooks=t2 - t1, tick=t3 - t2,
+            flop=t4 - t3, settle_post=t5 - t4)
+
     def run(self, ncycles):
         """Run ``ncycles`` cycles."""
         kernel = self._kernel
         if (kernel is not None and self._vcd is None
-                and not self._line_trace_on and self.trace_log is None):
+                and not self._line_trace_on and self.trace_log is None
+                and not self._cycle_hooks):
             for _ in range(ncycles):
                 kernel()
             self.ncycles += ncycles
@@ -423,6 +524,67 @@ class SimulationTool:
                 net._value = net._next
                 self._notify(net)
         pending.clear()
+
+    # -- observability ------------------------------------------------------------
+
+    def add_cycle_hook(self, hook):
+        """Register ``hook(cycle)`` to run once per cycle after the
+        pre-edge settle (transaction taps sample here).  While any hook
+        is registered, cycles take the interpreted path — the compiled
+        kernel has no observation points."""
+        self._cycle_hooks.append(hook)
+        return hook
+
+    def sched_info(self):
+        """Scheduling provenance: requested vs chosen mode, the
+        static/event partition, tick gating, and whether (and why not)
+        the mega-cycle kernel was compiled."""
+        info = {
+            "requested": self._sched_requested,
+            "mode": self.sched_mode,
+            "kernel": self._kernel is not None,
+            "kernel_refused": list(self._kernel_refused),
+            "total_comb_blocks": len(self._all_comb_funcs),
+            "total_tick_blocks": len(self._ticks),
+            "gated_ticks": len(self._gated_ticks),
+        }
+        if self.schedule is not None:
+            info.update(self.schedule.describe())
+        else:
+            info.update({
+                "static_blocks": 0,
+                "event_blocks": len(self._all_comb_funcs),
+                "demoted_cyclic": 0,
+                "levels": 0,
+            })
+        return info
+
+    def close(self):
+        """Finalize attached sinks (VCD, telemetry).  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._vcd is not None:
+            self._vcd.close()
+        self.telemetry.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    def __repr__(self):
+        kern = "kernel" if self._kernel is not None else "interpreted"
+        ngated = len(self._gated_ticks)
+        return (
+            f"<SimulationTool {type(self.model).__name__} "
+            f"sched={self.sched_mode}/{kern} "
+            f"comb={len(self._all_comb_funcs)} "
+            f"ticks={len(self._ticks)}({ngated} gated) "
+            f"cycles={self.ncycles}>"
+        )
 
     # -- debugging ----------------------------------------------------------------
 
@@ -461,4 +623,8 @@ def _make_connector(src, dst):
     connector.__name__ = (
         f"connect({_endpoint_name(src)} -> {_endpoint_name(dst)})"
     )
+    # Closures from the same def share a qualname ending in
+    # "<locals>.connector"; profilers keying on __qualname__ would
+    # merge every connector into one row without this stamp.
+    connector.__qualname__ = connector.__name__
     return connector

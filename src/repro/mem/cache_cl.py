@@ -58,9 +58,20 @@ class CacheCL(Model):
         s.refill_got = 0
         s.refill_words = []
 
-        # Statistics for evaluation.
+        # Statistics for evaluation.  The plain ints are the historical
+        # API (tests and harnesses read them directly); state-backed
+        # counters expose them through sim.telemetry and survive
+        # SimJIT-CL specialization.
         s.num_accesses = 0
         s.num_misses = 0
+        s.counter("accesses", "CPU requests accepted",
+                  state=("num_accesses",))
+        s.counter("misses", "read misses (line refills)",
+                  state=("num_misses",))
+        s.ctr_hits = s.counter("hits", "single-cycle read hits")
+        s.ctr_evictions = s.counter("evictions", "LRU lines evicted")
+        s.ctr_writebacks = s.counter(
+            "writebacks", "write-through requests forwarded to memory")
 
         @s.tick_cl
         def logic():
@@ -117,6 +128,7 @@ class CacheCL(Model):
             s._writethru_tick()
         elif way is not None:
             # Read hit: single-cycle response.
+            s.ctr_hits.incr()
             s.cpu.push_resp(MemRespMsg.mk(0, way[1][word]))
         else:
             # Read miss: burst-refill the whole line.
@@ -142,6 +154,7 @@ class CacheCL(Model):
             ways.insert(0, [tag, list(s.refill_words)])
             if len(ways) > s.assoc:
                 ways.pop()           # evict LRU (write-through: clean)
+                s.ctr_evictions.incr()
             s.cpu.push_resp(MemRespMsg.mk(0, ways[0][1][word]))
             s.cur_req = None
             s.state = "idle"
@@ -151,6 +164,7 @@ class CacheCL(Model):
             s.mem.push_req(
                 MemReqMsg.mk_wr(int(s.cur_req.addr), int(s.cur_req.data))
             )
+            s.ctr_writebacks.incr()
             s.cur_req = None
         if s.cur_req is None and not s.mem.resp_q.empty():
             s.mem.get_resp()

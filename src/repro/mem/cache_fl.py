@@ -27,6 +27,10 @@ class CacheFL(Model):
         s.cpu = ChildReqRespQueueAdapter(s.cpu_ifc)
         s.mem = ParentReqRespQueueAdapter(s.mem_ifc)
 
+        # Every access is a "hit" at FL; the counter keeps the FL/CL/RTL
+        # telemetry schema aligned across abstraction levels.
+        s.ctr_accesses = s.counter("accesses", "CPU requests forwarded")
+
         @s.tick_fl
         def logic():
             s.cpu.xtick()
@@ -34,6 +38,7 @@ class CacheFL(Model):
             if s.reset:
                 return
             if not s.cpu.req_q.empty() and not s.mem.req_q.full():
+                s.ctr_accesses.incr()
                 s.mem.push_req(s.cpu.get_req())
             if not s.mem.resp_q.empty() and not s.cpu.resp_q.full():
                 s.cpu.push_resp(s.mem.get_resp())

@@ -71,6 +71,40 @@ class CacheRTL(Model):
         # Statistics counters (real registers, SimJIT-translatable).
         s.access_count = Wire(32)
         s.miss_count = Wire(32)
+        s.counter("accesses", "CPU requests accepted",
+                  sig=s.access_count)
+        s.counter("misses", "read misses (line refills)",
+                  sig=s.miss_count)
+
+        from ..telemetry.counters import enabled as _telemetry_enabled
+        if _telemetry_enabled():
+            # Extra observation registers live in their own gateable
+            # tick; when telemetry is disabled nothing is declared, so
+            # the disabled design is structurally unchanged.
+            s.evict_count = Wire(32)
+            s.wb_count = Wire(32)
+            s.counter("evictions", "valid lines overwritten by refill",
+                      sig=s.evict_count)
+            s.counter("writebacks",
+                      "write-through requests sent to memory",
+                      sig=s.wb_count)
+
+            @s.tick_rtl
+            def telemetry_logic():
+                if s.reset:
+                    s.evict_count.next = 0
+                    s.wb_count.next = 0
+                else:
+                    if s.state.uint() == _REFILL \
+                            and s.mem_ifc.resp_val.uint() \
+                            and s.mem_ifc.resp_rdy.uint() \
+                            and s.got.uint() == WORDS_PER_LINE - 1 \
+                            and s.valid[s.victim_line.uint()].uint():
+                        s.evict_count.next = s.evict_count + 1
+                    if s.state.uint() == _WRITETHRU_REQ \
+                            and s.mem_ifc.req_val.uint() \
+                            and s.mem_ifc.req_rdy.uint():
+                        s.wb_count.next = s.wb_count + 1
 
         @s.tick_rtl
         def seq_logic():

@@ -55,6 +55,20 @@ class RouterCL(Model):
         s.grants = [-1] * s.NPORTS
         s.priority = [0] * s.NPORTS
 
+        # Per-output telemetry, kept as flat int lists updated with
+        # subset-style statements so the block stays SimJIT-CL
+        # translatable (and the counters survive specialization as
+        # state-backed reads).
+        s.ctr_flits = [0] * s.NPORTS
+        s.ctr_stalls = [0] * s.NPORTS
+        for o in range(s.NPORTS):
+            s.counter(f"flits_out{o}",
+                      f"flits accepted downstream on port {o}",
+                      state=("ctr_flits", o))
+            s.counter(f"stalls_out{o}",
+                      f"cycles port {o} offered a flit that stalled",
+                      state=("ctr_stalls", o))
+
         @s.tick_cl
         def router_logic():
             if s.reset.uint():
@@ -62,6 +76,8 @@ class RouterCL(Model):
                     s.buf_head[i] = 0
                     s.buf_count[i] = 0
                     s.grants[i] = -1
+                    s.ctr_flits[i] = 0
+                    s.ctr_stalls[i] = 0
                     s.in_[i].rdy.next = 0
                     s.out[i].val.next = 0
             else:
@@ -73,6 +89,7 @@ class RouterCL(Model):
                         s.buf_head[src] = (s.buf_head[src] + 1) % s.nentries
                         s.buf_count[src] = s.buf_count[src] - 1
                         s.priority[o] = (src + 1) % s.NPORTS
+                        s.ctr_flits[o] = s.ctr_flits[o] + 1
 
                 # 2. Packets offered by upstream on the last edge enter.
                 for i in range(s.NPORTS):
@@ -94,6 +111,7 @@ class RouterCL(Model):
                             and s.grants[o] >= 0):
                         held[o] = 1
                         claimed[s.grants[o]] = 1
+                        s.ctr_stalls[o] = s.ctr_stalls[o] + 1
                 for o in range(s.NPORTS):
                     if held[o]:
                         continue        # val/msg registers keep the offer

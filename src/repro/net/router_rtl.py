@@ -54,6 +54,37 @@ class RouterRTL(Model):
         s.hold_val = [Wire(1) for _ in range(s.NPORTS)]
         s.hold_grant = [Wire(bw(s.NPORTS)) for _ in range(s.NPORTS)]
 
+        from ..telemetry.counters import enabled as _telemetry_enabled
+        if _telemetry_enabled():
+            # Telemetry registers in their own gateable tick; nothing
+            # is declared when telemetry is disabled, keeping the
+            # disabled design structurally unchanged.
+            s.flit_count = [Wire(32) for _ in range(s.NPORTS)]
+            s.stall_count = [Wire(32) for _ in range(s.NPORTS)]
+            for o in range(s.NPORTS):
+                s.counter(f"flits_out{o}",
+                          f"flits accepted downstream on port {o}",
+                          sig=s.flit_count[o])
+                s.counter(f"stalls_out{o}",
+                          f"cycles port {o} offered a flit that "
+                          "stalled",
+                          sig=s.stall_count[o])
+
+            @s.tick_rtl
+            def telemetry_logic():
+                if s.reset:
+                    for o in range(s.NPORTS):
+                        s.flit_count[o].next = 0
+                        s.stall_count[o].next = 0
+                else:
+                    for o in range(s.NPORTS):
+                        if s.grant_val[o].uint() \
+                                and s.out[o].rdy.uint():
+                            s.flit_count[o].next = s.flit_count[o] + 1
+                        if s.grant_val[o].uint() \
+                                and not s.out[o].rdy.uint():
+                            s.stall_count[o].next = s.stall_count[o] + 1
+
         @s.combinational
         def switch_logic():
             # Hoist per-queue head state into locals once per run: the

@@ -60,6 +60,10 @@ class ProcCL(Model):
         s.halted = False
         s.num_instrs = 0
         s.num_squashes = 0
+        s.counter("insts_retired", "instructions committed",
+                  state=("num_instrs",))
+        s.counter("squashes", "fetches squashed by taken branches",
+                  state=("num_squashes",))
         s.state = "run"         # run | load_wait | store_wait | xcel_wait
         s.instr = None
         # In-flight fetch bookkeeping: (fetch_addr, squashed) FIFO.

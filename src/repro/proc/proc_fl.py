@@ -160,6 +160,8 @@ class ProcFL(Model):
         s.num_instrs = 0
         s.state = "fetch"
         s.instr = None
+        s.counter("insts_retired", "instructions committed",
+                  state=("num_instrs",))
 
         @s.tick_fl
         def logic():

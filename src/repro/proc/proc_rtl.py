@@ -56,6 +56,8 @@ class ProcRTL(Model):
         # Retired-instruction counter (a real register, so the model
         # stays inside the translatable subset).
         s.instret = Wire(32)
+        s.counter("insts_retired", "instructions committed",
+                  sig=s.instret)
 
         @s.tick_rtl
         def seq_logic():

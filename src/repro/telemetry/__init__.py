@@ -1,0 +1,39 @@
+"""Unified telemetry: counters, transaction traces, self-profiling.
+
+The observability layer over the paper's model/tool split: models
+declare *what* to count (``s.counter`` / ``s.histogram``), tools decide
+*whether* and *how* to collect — the same design description serves
+runs with telemetry fully disabled (zero overhead), counter-only runs,
+and deep-inspection runs with transaction tracing and simulator
+self-profiling.  ``sim.telemetry`` (a :class:`Telemetry` view on every
+``SimulationTool``) aggregates all of it into one export schema.
+
+See TUTORIAL.md chapter 8 and DESIGN.md section 1.7.
+"""
+
+from __future__ import annotations
+
+from .counters import (
+    Counter,
+    Histogram,
+    NullCounter,
+    enabled,
+    set_enabled,
+)
+from .export import Telemetry, TelemetryReport
+from .profile import ActivityReport, SimProfiler
+from .txtrace import Tap, TxTracer
+
+__all__ = [
+    "ActivityReport",
+    "Counter",
+    "Histogram",
+    "NullCounter",
+    "SimProfiler",
+    "Tap",
+    "Telemetry",
+    "TelemetryReport",
+    "TxTracer",
+    "enabled",
+    "set_enabled",
+]

@@ -1,0 +1,133 @@
+"""Simulator self-profiling: where does host time go?
+
+Two views of a run:
+
+- :class:`ActivityReport` — *simulated* activity: how many block
+  events fired, which blocks fired most (requires
+  ``collect_stats=True`` on the simulator).
+- :class:`SimProfiler` — *host* time: per-phase (settle / tick / flop)
+  and per-block wall-clock attribution, simulated cycles per second,
+  and the schedule-mode provenance of the run, so a BENCH regression
+  can be root-caused to the phase or block that slowed down (requires
+  ``profile=True`` on the simulator; profiling refuses the mega-cycle
+  kernel because per-block timers need the interpreted path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ActivityReport:
+    """Aggregate combinational activity of a simulation run."""
+
+    ncycles: int
+    num_events: int
+    hot_blocks: list      # [(name, count)], descending
+
+    @property
+    def events_per_cycle(self):
+        return self.num_events / max(1, self.ncycles)
+
+    def summary(self, top=10):
+        lines = [
+            f"cycles            : {self.ncycles}",
+            f"comb block events : {self.num_events}",
+            f"events/cycle      : {self.events_per_cycle:.1f}",
+            "hottest blocks:",
+        ]
+        for name, count in self.hot_blocks[:top]:
+            lines.append(f"  {count:10}  {name}")
+        return "\n".join(lines)
+
+
+#: Phase keys in cycle order.
+PHASES = ("settle_pre", "hooks", "tick", "flop", "settle_post")
+
+
+class SimProfiler:
+    """Accumulates host-time attribution for a profiled simulation.
+
+    The simulator drives it: :meth:`add_block` after every timed block
+    call, :meth:`add_phases` once per cycle.  All bookkeeping is plain
+    dict/float math so the profiled run stays representative.
+    """
+
+    def __init__(self):
+        self.block_time = {}        # func -> [calls, seconds]
+        self.phase_time = {name: 0.0 for name in PHASES}
+        self.cycles = 0
+        self.total_time = 0.0
+
+    def add_block(self, func, dt):
+        entry = self.block_time.get(func)
+        if entry is None:
+            self.block_time[func] = [1, dt]
+        else:
+            entry[0] += 1
+            entry[1] += dt
+
+    def add_phases(self, **phases):
+        total = 0.0
+        for name, dt in phases.items():
+            self.phase_time[name] += dt
+            total += dt
+        self.cycles += 1
+        self.total_time += total
+
+    @property
+    def cycles_per_sec(self):
+        if self.total_time <= 0.0:
+            return 0.0
+        return self.cycles / self.total_time
+
+    def report(self, sim=None, top=20):
+        """Structured profile dict (the profile section of the
+        telemetry export schema)."""
+        names = {}
+        if sim is not None:
+            for sub in sim.model._all_models:
+                for blk in sub.get_comb_blocks():
+                    names[blk.func] = blk.name
+                for blk in sub.get_tick_blocks():
+                    names[blk.func] = blk.name
+        blocks = sorted(
+            ((names.get(func, getattr(func, "__qualname__", "?")),
+              calls, seconds)
+             for func, (calls, seconds) in self.block_time.items()),
+            key=lambda item: -item[2],
+        )
+        out = {
+            "cycles": self.cycles,
+            "host_seconds": self.total_time,
+            "cycles_per_sec": self.cycles_per_sec,
+            "phase_seconds": dict(self.phase_time),
+            "hot_blocks": [
+                {"name": name, "calls": calls, "seconds": seconds}
+                for name, calls, seconds in blocks[:top]
+            ],
+        }
+        if sim is not None:
+            out["sched"] = sim.sched_info()
+        return out
+
+    def summary(self, sim=None, top=10):
+        rep = self.report(sim, top=top)
+        lines = [
+            f"profiled cycles   : {rep['cycles']}",
+            f"host seconds      : {rep['host_seconds']:.4f}",
+            f"cycles/sec        : {rep['cycles_per_sec']:.0f}",
+            "phase breakdown:",
+        ]
+        total = max(rep["host_seconds"], 1e-12)
+        for name in PHASES:
+            dt = rep["phase_seconds"][name]
+            lines.append(
+                f"  {name:<12} {dt:8.4f}s  {100.0 * dt / total:5.1f}%")
+        lines.append("hottest blocks (host time):")
+        for blk in rep["hot_blocks"]:
+            lines.append(
+                f"  {blk['seconds']:8.4f}s  {blk['calls']:9} calls  "
+                f"{blk['name']}")
+        return "\n".join(lines)

@@ -1,60 +1,26 @@
-"""Simulation activity analysis.
+"""Simulation activity analysis (deprecated shim).
 
-An analyzer tool in the paper's model/tool-split sense: consumes a
-``SimulationTool`` run with ``collect_stats=True`` and reports where
-simulated activity concentrated — which combinational blocks fire most,
-and the average events per cycle (the quantity that event-driven
-simulation optimizes relative to evaluate-everything simulators).
+The activity analyzer moved into the unified telemetry subsystem:
+:class:`ActivityReport` lives in :mod:`repro.telemetry.profile` and the
+report is built by ``sim.telemetry.activity()``.  This module keeps
+the old entry points working with a :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 
+from ..telemetry.profile import ActivityReport
 
-@dataclass
-class ActivityReport:
-    """Aggregate combinational activity of a simulation run."""
-
-    ncycles: int
-    num_events: int
-    hot_blocks: list      # [(name, count)], descending
-
-    @property
-    def events_per_cycle(self):
-        return self.num_events / max(1, self.ncycles)
-
-    def summary(self, top=10):
-        lines = [
-            f"cycles            : {self.ncycles}",
-            f"comb block events : {self.num_events}",
-            f"events/cycle      : {self.events_per_cycle:.1f}",
-            "hottest blocks:",
-        ]
-        for name, count in self.hot_blocks[:top]:
-            lines.append(f"  {count:10}  {name}")
-        return "\n".join(lines)
+__all__ = ["ActivityReport", "activity_report"]
 
 
 def activity_report(sim):
-    """Build an :class:`ActivityReport` from a stats-collecting
-    simulator."""
-    if not sim.collect_stats:
-        raise ValueError(
-            "pass collect_stats=True to SimulationTool to gather "
-            "activity statistics"
-        )
-    names = {}
-    for sub in sim.model._all_models:
-        for blk in sub.get_comb_blocks():
-            names[blk.func] = blk.name
-    hot = sorted(
-        ((names.get(func, getattr(func, "__name__", "?")), count)
-         for func, count in sim.block_calls.items()),
-        key=lambda item: -item[1],
+    """Deprecated: use ``sim.telemetry.activity()`` instead."""
+    warnings.warn(
+        "repro.tools.stats.activity_report is deprecated; use "
+        "sim.telemetry.activity()",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return ActivityReport(
-        ncycles=sim.ncycles,
-        num_events=sim.num_events,
-        hot_blocks=hot,
-    )
+    return sim.telemetry.activity()

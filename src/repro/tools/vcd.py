@@ -7,10 +7,14 @@ viewable in GTKWave.
 
 Usage::
 
-    vcd = VCDWriter("trace.vcd")
-    sim = SimulationTool(model, vcd=vcd)
-    ...
-    vcd.close()
+    with VCDWriter("trace.vcd") as vcd:
+        sim = SimulationTool(model, vcd=vcd)
+        ...
+
+The file is opened lazily on attach (a constructed-but-unused writer
+creates nothing), and ``close()`` is idempotent and flush-safe, so the
+context-manager form guarantees a complete file even when the simulated
+block raises.  ``SimulationTool.close()`` closes an attached writer.
 """
 
 from __future__ import annotations
@@ -24,7 +28,8 @@ class VCDWriter:
     def __init__(self, path, timescale="1ns"):
         self.path = path
         self.timescale = timescale
-        self._file = open(path, "w")
+        self._file = None           # opened lazily at attach time
+        self._closed = False
         self._signals = []         # (signal, id_code)
         self._last = {}
         self._header_done = False
@@ -45,7 +50,7 @@ class VCDWriter:
             i += 1
 
     def _write_header(self, model):
-        out = self._file
+        out = self._file = open(self.path, "w")
         out.write(f"$timescale {self.timescale} $end\n")
         codes = self._id_codes()
         self._emit_scope(model, codes)
@@ -82,6 +87,8 @@ class VCDWriter:
         """Called by the simulator after every cycle."""
         if not self._header_done:
             raise RuntimeError("VCDWriter not attached to a simulator")
+        if self._closed:
+            raise RuntimeError(f"VCDWriter {self.path!r} is closed")
         out = self._file
         out.write(f"#{cycle}\n")
         for sig, code in self._signals:
@@ -92,11 +99,28 @@ class VCDWriter:
 
     def attach(self, model):
         """Bind to an elaborated model (called by SimulationTool)."""
+        if self._closed:
+            raise RuntimeError(f"VCDWriter {self.path!r} is closed")
         if not self._header_done:
-            self._write_header(model)
+            try:
+                self._write_header(model)
+            except BaseException:
+                # Never leak a half-written open handle: close it and
+                # surface the original error.
+                self.close()
+                raise
 
     def close(self):
-        self._file.close()
+        """Flush and close the output file.  Idempotent; safe to call
+        on a writer that never attached (nothing was opened)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._file is not None:
+            try:
+                self._file.flush()
+            finally:
+                self._file.close()
 
     def __enter__(self):
         return self

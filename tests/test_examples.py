@@ -20,6 +20,7 @@ EXAMPLES = [
     "translate_to_verilog.py",
     "auto_specialize_tile.py",
     "memory_over_network.py",
+    "mesh_telemetry_demo.py",
 ]
 
 

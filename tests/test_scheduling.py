@@ -261,11 +261,65 @@ def test_auto_falls_back_to_event_for_opaque_design():
 
 def test_forced_static_on_opaque_design_still_correct():
     model = _Opaque().elaborate()
-    sim = SimulationTool(model, sched="static")
+    # The silent static -> event downgrade is no longer silent.
+    with pytest.warns(RuntimeWarning, match="no effect"):
+        sim = SimulationTool(model, sched="static")
     sim.reset()
     model.in_.value = 7
     sim.eval_combinational()
     assert model.out == 8
+
+
+def test_auto_downgrade_does_not_warn():
+    """auto mode falling back to event is expected, not warned."""
+    import warnings as _warnings
+    with _warnings.catch_warnings():
+        _warnings.simplefilter("error")
+        SimulationTool(_Opaque().elaborate(), sched="auto")
+
+
+def test_sched_info_and_repr():
+    net = MeshNetworkStructural(RouterRTL, 4, 256, 32, 2).elaborate()
+    sim = SimulationTool(net, sched="static")
+    info = sim.sched_info()
+    assert info["requested"] == "static"
+    assert info["mode"] == "static"
+    assert info["kernel"] is True
+    assert info["kernel_refused"] == []
+    assert info["event_blocks"] == 0
+    assert info["static_blocks"] == info["total_comb_blocks"] > 0
+    assert info["levels"] >= 1
+    assert "sched=static/kernel" in repr(sim)
+    assert "MeshNetworkStructural" in repr(sim)
+
+    net2 = MeshNetworkStructural(RouterRTL, 4, 256, 32, 2).elaborate()
+    sim2 = SimulationTool(net2, sched="static", collect_stats=True)
+    info2 = sim2.sched_info()
+    assert info2["kernel"] is False
+    assert any("collect_stats" in r for r in info2["kernel_refused"])
+
+    sim3 = SimulationTool(_Opaque().elaborate(), sched="auto")
+    info3 = sim3.sched_info()
+    assert info3["requested"] == "auto"
+    assert info3["mode"] == "event"
+    assert info3["static_blocks"] == 0
+    assert "sched=event" in repr(sim3)
+
+
+def test_cycle_hooks_fire_each_cycle_and_disable_kernel_fast_path():
+    model = _Counter().elaborate()
+    sim = SimulationTool(model, sched="static")
+    assert sim._kernel is not None
+    seen = []
+    sim.add_cycle_hook(lambda cyc: seen.append(int(model.count)))
+    sim.reset()
+    del seen[:]     # hooks fire during reset cycles too
+    model.en.value = 1
+    sim.run(5)
+    # The hook observes the pre-tick state of every cycle, and the
+    # model still advances exactly as without hooks.
+    assert seen == [0, 1, 2, 3, 4]
+    assert model.count == 5
 
 
 def test_invalid_sched_rejected():
