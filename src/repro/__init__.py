@@ -67,6 +67,16 @@ from .core import (
 
 from .core.translation import TranslationTool, translate
 from .core.simjit import SimJITCL, SimJITRTL, auto_specialize
+from .resilience import (
+    CheckpointRing,
+    LinkFaultInjector,
+    ResilienceWarning,
+    SEUInjector,
+    StuckAtFault,
+    Watchdog,
+    WatchdogTimeout,
+    specialize_or_fallback,
+)
 from .telemetry import (
     Telemetry,
     TelemetryReport,
@@ -91,5 +101,8 @@ __all__ = [
     "SimJITRTL", "SimJITCL", "auto_specialize",
     "Telemetry", "TelemetryReport", "TxTracer",
     "set_telemetry_enabled", "telemetry_enabled",
+    "ResilienceWarning", "SEUInjector", "StuckAtFault",
+    "LinkFaultInjector", "CheckpointRing",
+    "Watchdog", "WatchdogTimeout", "specialize_or_fallback",
     "__version__",
 ]

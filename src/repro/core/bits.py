@@ -56,6 +56,14 @@ class Bits:
     def __setattr__(self, name, value):
         raise AttributeError("Bits objects are immutable")
 
+    # Immutable values need no copying — sharing the instance is safe,
+    # and ``copy.deepcopy`` would otherwise trip over __setattr__.
+    def __copy__(self):
+        return self
+
+    def __deepcopy__(self, memo):
+        return self
+
     # -- value access ------------------------------------------------------
 
     def uint(self):

@@ -145,6 +145,25 @@ void get_nets(void *p, const int *idxs, int n, uint64_t *out) {
         out[2 * i + 1] = (uint64_t)(v >> 64);
     }
 }
+
+void set_state_at(void *p, int idx, int elem, int64_t value) {
+    state_poke_at((inst_t *)p, idx, elem, value);
+}
+
+/* Checkpoint/restore: inst_t is a flat POD struct (net arrays + plain
+   int64 state), so one memcpy captures and restores the entire
+   simulation state of an instance. */
+size_t inst_size(void) {
+    return sizeof(inst_t);
+}
+
+void save_inst(void *p, char *buf) {
+    memcpy(buf, p, sizeof(inst_t));
+}
+
+void load_inst(void *p, const char *buf) {
+    memcpy(p, buf, sizeof(inst_t));
+}
 """
 
 C_HEADER_DECLS = """
@@ -157,6 +176,10 @@ int cycle(void *p, int n);
 int64_t get_state(void *p, int idx);
 int64_t get_state_at(void *p, int idx, int elem);
 void get_nets(void *p, const int *idxs, int n, uint64_t *out);
+void set_state_at(void *p, int idx, int elem, int64_t value);
+size_t inst_size(void);
+void save_inst(void *p, char *buf);
+void load_inst(void *p, const char *buf);
 """
 
 

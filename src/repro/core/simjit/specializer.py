@@ -67,7 +67,14 @@ class SimJITEngine:
         self.inst = lib.new_instance()
         self.overheads = overheads
         import cffi
-        self._buf = cffi.FFI().new("uint64_t[2]")
+        self._ffi = cffi.FFI()
+        self._buf = self._ffi.new("uint64_t[2]")
+        # CL-state addressing metadata: attached by the specializer
+        # (``engine.state_index``/``engine.model_index``) so external
+        # tools (fault injection, checkpointing) can reach compiled
+        # state by (model, attr) instead of C variable names.
+        self.state_index = {}
+        self.model_index = {}
         # (signal, slot) maps; nets resolved lazily (the parent design
         # may re-merge nets after specialization).
         self._in_ports = [
@@ -148,9 +155,45 @@ class SimJITEngine:
     def raw_set(self, slot, value):
         self.lib.set_net(self.inst, slot,
                          value & 0xFFFFFFFFFFFFFFFF, value >> 64)
+        # The forced value must survive the next input push even when
+        # the Python-side net did not change: drop the push cache entry
+        # so the slot re-syncs only when Python actually drives it.
+        self._shadow.pop(slot, None)
 
     def raw_get(self, slot):
         return self._read_slot(slot)
+
+    def raw_set_state(self, idx, elem, value):
+        """Write one CL state variable (``state_index`` addressing)."""
+        self.lib.set_state_at(self.inst, idx, int(elem), int(value))
+
+    def state_slot(self, model, attr):
+        """``state_index`` slot of ``model.attr``, or None when the
+        attribute was not lowered to compiled state."""
+        key = f"st_m{self.model_index[id(model)]}_{attr}"
+        return self.state_index.get(key)
+
+    # -- checkpoint/restore (resilience.snapshot) -------------------------
+
+    def snapshot_raw(self):
+        """Entire compiled instance state (nets + CL state) as bytes."""
+        n = int(self.lib.inst_size())
+        buf = self._ffi.new("char[]", n)
+        self.lib.save_inst(self.inst, buf)
+        return bytes(self._ffi.buffer(buf, n))
+
+    def restore_raw(self, blob):
+        """Overwrite the compiled instance state from a snapshot blob."""
+        self.lib.load_inst(self.inst, blob)
+        self.invalidate_shadows()
+
+    def invalidate_shadows(self):
+        """Drop the Python<->C change-detection caches after any
+        out-of-band state mutation, so the next push/pull re-syncs
+        every port."""
+        self._shadow = {}
+        if self._in_nets is not None:
+            self._out_shadow = [None] * len(self._out_ports)
 
 
 class JITModel(Model):
@@ -268,6 +311,8 @@ class _Specializer:
             lib = self._load(lib_path)
             engine = SimJITEngine(model, lib, self._slot_of,
                                   self.overheads)
+            engine.state_index = dict(self._state_index)
+            engine.model_index = dict(self._model_index)
 
         with _Timer(self.overheads, "simc"):
             wrapper = JITModel(model, engine)
@@ -487,6 +532,20 @@ class _Specializer:
             "int elem) {\n"
             "  (void)I; (void)elem;\n"
             + "\n".join(probes) + "\n  return 0;\n}"
+        )
+        # Mirror poke for fault injection (resilience.inject): write a
+        # CL state variable in place, by the same (idx, elem) addressing
+        # as the probe.
+        pokes = []
+        for i, (cname, (_, _, size)) in enumerate(state_list):
+            ref = f"I->{cname}" if size == 0 else f"I->{cname}[elem]"
+            pokes.append(
+                f"  if (idx == {i}) {{ {ref} = value; return; }}")
+        parts.append(
+            "static void state_poke_at(inst_t *I, int idx, int elem, "
+            "int64_t value) {\n"
+            "  (void)I; (void)elem; (void)value;\n"
+            + "\n".join(pokes) + "\n}"
         )
         self._state_index = {cname: i
                              for i, (cname, _) in enumerate(state_list)}

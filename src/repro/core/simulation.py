@@ -51,6 +51,7 @@ from collections import deque
 from time import perf_counter
 
 from .scheduling import build_schedule, generate_kernel
+from ..resilience.warnings import ResilienceWarning
 
 
 class SimulationError(Exception):
@@ -158,6 +159,9 @@ class SimulationTool:
 
         self._queue = deque()
         self._pending_flops = {}
+        # RNG streams registered via track_rng(); their state rides
+        # along in checkpoints so replay after restore is deterministic.
+        self._checkpoint_rngs = []
 
         # -- scheduling-mode selection ---------------------------------
         self.schedule = None
@@ -170,13 +174,19 @@ class SimulationTool:
         self._gated_ticks = ()
         self._all_ticks_gated = False
 
+        sched_fault = None
         if sched != "event":
-            schedule = build_schedule(infos)
-            gateable = any(
-                blk.gateable and func is blk.func
-                for blk, func in zip(self._tick_blocks, self._ticks))
-            if sched == "static" or schedule.order or gateable:
-                self.schedule = schedule
+            try:
+                schedule = build_schedule(infos)
+            except Exception as exc:      # degrade, don't abort the run
+                sched_fault = f"{type(exc).__name__}: {exc}"
+                schedule = None
+            if schedule is not None:
+                gateable = any(
+                    blk.gateable and func is blk.func
+                    for blk, func in zip(self._tick_blocks, self._ticks))
+                if sched == "static" or schedule.order or gateable:
+                    self.schedule = schedule
         self.sched_mode = "static" if self.schedule is not None else "event"
 
         if self.schedule is not None:
@@ -219,6 +229,9 @@ class SimulationTool:
         refused = []
         if sched == "event":
             refused.append("event mode requested (sched='event')")
+        elif sched_fault is not None:
+            refused.append(
+                f"static schedule construction failed ({sched_fault})")
         elif self.schedule is None:
             refused.append(
                 "auto selected event mode (no statically schedulable "
@@ -236,19 +249,52 @@ class SimulationTool:
                 "profiler hooks: profile=True times every block call")
         self._kernel_refused = tuple(refused)
         if not refused:
-            self._kernel = generate_kernel(self)
+            try:
+                self._kernel = generate_kernel(self)
+            except Exception as exc:  # degrade, don't abort the run
+                self._kernel = None
+                self._kernel_refused = (
+                    f"mega-cycle kernel generation failed "
+                    f"({type(exc).__name__}: {exc})",)
+                warnings.warn(
+                    ResilienceWarning(
+                        "mega-cycle kernel generation failed; cycles run "
+                        "on the interpreted static schedule instead "
+                        f"({type(exc).__name__}: {exc})",
+                        kind="kernel-fallback",
+                        component=type(self.model).__name__,
+                        fallback="interpreted",
+                        detail=str(exc)),
+                    stacklevel=2)
 
+        # Static schedule construction blew up: the run continues on
+        # the event-driven fixpoint, which computes identical values.
+        if sched_fault is not None:
+            warnings.warn(
+                ResilienceWarning(
+                    "static schedule construction failed; falling back "
+                    "to the event-driven fixpoint, which computes the "
+                    f"same values ({sched_fault})",
+                    kind="sched-fallback",
+                    component=type(self.model).__name__,
+                    fallback="event",
+                    detail=sched_fault),
+                stacklevel=2)
         # A user who explicitly asked for static scheduling but got a
         # design with nothing to schedule is silently running the event
         # fixpoint; say so once.
-        if (sched == "static" and self.schedule is not None
+        elif (sched == "static" and self.schedule is not None
                 and not self.schedule.order and not self._gated_ticks):
             warnings.warn(
-                "sched='static' had no effect: no combinational block "
-                "could be statically scheduled and no tick block is "
-                "gateable, so the design runs on the event-driven "
-                "fixpoint (see sim.sched_info() for the partition)",
-                RuntimeWarning, stacklevel=2)
+                ResilienceWarning(
+                    "sched='static' had no effect: no combinational block "
+                    "could be statically scheduled and no tick block is "
+                    "gateable, so the design runs on the event-driven "
+                    "fixpoint (see sim.sched_info() for the partition)",
+                    kind="static-noop",
+                    component=type(self.model).__name__,
+                    fallback="event"),
+                stacklevel=2)
 
     def _build_tick_plan(self):
         """Partition tick blocks into gated and always-run entries.
@@ -376,8 +422,23 @@ class SimulationTool:
                 raise SimulationError(
                     "combinational logic failed to settle "
                     f"after {events} events: likely a combinational loop"
+                    + self._oscillation_diagnostic()
                 )
         self.num_events += events
+
+    def _oscillation_diagnostic(self):
+        """Name the oscillating signals when the settle budget blows.
+
+        Delegates to :func:`repro.resilience.guard.diagnose_oscillation`
+        (lazy import — the core must not depend on the resilience
+        package at load time).  Diagnostics never mask the original
+        error: any failure here degrades to an empty string."""
+        try:
+            from ..resilience.guard import diagnose_oscillation
+            extra = diagnose_oscillation(self)
+        except Exception:
+            return ""
+        return f"; {extra}" if extra else ""
 
     def _run_static_pass(self, stats=None, prof=None):
         """One in-order sweep over the static schedule, running exactly
@@ -514,6 +575,44 @@ class SimulationTool:
         self.cycle()
         self.model.reset.value = 0
         self.eval_combinational()
+        # Hardware state is reset by the reset signal above, but
+        # python-kind telemetry (counters without a signal/state
+        # backing, histograms) lives outside the design and would
+        # otherwise keep pre-reset totals, making reset() disagree
+        # with a fresh simulator or a restored checkpoint.
+        for ctr in getattr(self.model, "_all_counters", {}).values():
+            if (ctr._sig is None and ctr._state is None
+                    and ctr._jit_read is None):
+                ctr._value = 0
+        for hist in getattr(self.model, "_all_histograms", {}).values():
+            hist.bins.clear()
+        # Re-arm the static/tick flag arrays in place (the compiled
+        # kernel closes over these exact bytearray objects) so every
+        # block re-evaluates from the post-reset state.
+        if self._sflags:
+            self._sflags[:] = b"\x01" * len(self._sflags)
+            self._sdirty = True
+        if self._tflags:
+            self._tflags[:] = b"\x01" * len(self._tflags)
+
+    # -- checkpoint / restore ---------------------------------------------
+
+    def track_rng(self, rng):
+        """Register an RNG whose state should ride along in
+        checkpoints (e.g. the stimulus stream of a verif run)."""
+        self._checkpoint_rngs.append(rng)
+        return rng
+
+    def save_checkpoint(self):
+        """Snapshot all simulation state; see
+        :func:`repro.resilience.snapshot.save_checkpoint`."""
+        from ..resilience.snapshot import save_checkpoint
+        return save_checkpoint(self)
+
+    def restore_checkpoint(self, checkpoint):
+        """Restore a snapshot taken by :meth:`save_checkpoint`."""
+        from ..resilience.snapshot import restore_checkpoint
+        restore_checkpoint(self, checkpoint)
 
     def _flop(self):
         pending = self._pending_flops

@@ -9,6 +9,7 @@ from .mem_over_net import (
 )
 from .mesh import MeshNetworkStructural
 from .msgs import NetMsg
+from .resilient_link import ResilientLink, UnreliableChannel, crc8
 from .ring import RingNetworkStructural, RouterRingCL
 from .network_fl import NetworkFL
 from .router_cl import RouterCL
@@ -24,6 +25,7 @@ from .traffic import (
 __all__ = [
     "NetMsg", "NetworkFL", "RouterCL", "RouterRTL",
     "MeshNetworkStructural",
+    "ResilientLink", "UnreliableChannel", "crc8",
     "RemoteMemClient", "RemoteMemServer", "RemoteMemSystem",
     "RingNetworkStructural", "RouterRingCL",
     "NetworkTrafficHarness", "TrafficStats",

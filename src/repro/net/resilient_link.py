@@ -1,0 +1,690 @@
+"""Resilient val/rdy link: CRC-8 frames, ack/nack, bounded retry.
+
+A :class:`ResilientLink` transports payload words across a pair of
+*unreliable* channels (forward frames, reverse acks) that the fault
+injectors (:mod:`repro.resilience.inject`) can disturb with flit
+drops, payload corruption, and randomized stall bursts — and still
+delivers every accepted payload **exactly once, in order**:
+
+- frames carry a CRC-8 (polynomial 0x07) over sequence + payload;
+  corrupted frames are NACKed and retransmitted.  CRC-8/0x07 has
+  Hamming distance 4 up to 119 data bits, so the injectors' 1–2 bit
+  corruptions are always detected;
+- a stop-and-wait sender with a ``seq_bits``-bit sequence number,
+  per-frame timeout, and bounded retry with exponential backoff
+  (``backoff_base << min(attempt, backoff_cap)`` cycles);
+- the receiver delivers in-sequence frames once, re-acks duplicates
+  (retransmissions whose ack was lost) without redelivering, and
+  NACKs CRC failures;
+- retry/timeout/duplicate/give-up counts are exposed as telemetry
+  counters at every level.
+
+The sender and receiver exist at FL, CL, and RTL — same protocol,
+modeled in the style of each abstraction level — around *shared*
+structural :class:`UnreliableChannel` instances, so the PR 2 co-sim
+harness can sweep one fault schedule across all three levels and
+compare delivered streams.
+"""
+
+from __future__ import annotations
+
+from ..core import InPort, InValRdyBundle, Model, OutValRdyBundle, Wire
+
+__all__ = [
+    "ResilientLink",
+    "UnreliableChannel",
+    "crc8",
+    "CRC_BITS",
+]
+
+CRC_BITS = 8
+_CRC_POLY = 0x07
+
+# Sender FSM states (shared encoding at every level).
+_IDLE, _SEND, _WAIT, _BACKOFF = 0, 1, 2, 3
+_ACK, _NACK = 1, 0
+
+
+def crc8(value, nbits):
+    """CRC-8 (poly 0x07, init 0) over the low ``nbits`` of ``value``,
+    MSB first."""
+    crc = 0
+    for i in range(nbits - 1, -1, -1):
+        fb = ((crc >> 7) & 1) ^ ((value >> i) & 1)
+        crc = (crc << 1) & 0xFF
+        if fb:
+            crc ^= _CRC_POLY
+    return crc
+
+
+def pack_frame(seq, payload, seq_bits, payload_nbits):
+    """``[crc8 | seq | payload]`` frame word (MSB first)."""
+    body = ((seq & ((1 << seq_bits) - 1)) << payload_nbits) \
+        | (payload & ((1 << payload_nbits) - 1))
+    return (crc8(body, seq_bits + payload_nbits)
+            << (seq_bits + payload_nbits)) | body
+
+
+def pack_ack(kind, seq, seq_bits):
+    """``[crc8 | kind | seq]`` ack word (kind 1=ACK, 0=NACK)."""
+    body = ((kind & 1) << seq_bits) | (seq & ((1 << seq_bits) - 1))
+    return (crc8(body, 1 + seq_bits) << (1 + seq_bits)) | body
+
+
+class UnreliableChannel(Model):
+    """Single-entry registered channel with fault-injection ports.
+
+    Data path: ``in_`` (val/rdy) -> one-deep buffer -> ``out``.  Three
+    input ports model the physical faults; all default to 0 (a clean
+    wire) and are meant to be driven by a
+    :class:`~repro.resilience.inject.LinkFaultInjector`:
+
+    - ``f_drop`` — an accepted flit vanishes (the handshake completes,
+      nothing is stored);
+    - ``f_corrupt`` — XOR mask applied to the stored flit;
+    - ``f_stall`` — deasserts ``in_.rdy`` (a stall burst).
+
+    Telemetry counts faults that actually hit a transfer, not cycles
+    the fault lines were merely asserted.
+    """
+
+    def __init__(s, nbits):
+        s.nbits = nbits
+        s.in_ = InValRdyBundle(nbits)
+        s.out = OutValRdyBundle(nbits)
+        s.f_drop = InPort(1)
+        s.f_stall = InPort(1)
+        s.f_corrupt = InPort(nbits)
+
+        s.buf = Wire(nbits)
+        s.full = Wire(1)
+
+        s.ctr_dropped = s.counter(
+            "dropped", "flits consumed and discarded by f_drop")
+        s.ctr_corrupted = s.counter(
+            "corrupted", "flits stored with a corruption mask applied")
+        s.ctr_stalled = s.counter(
+            "stalled", "offered flits held off by a stall cycle")
+
+        @s.combinational
+        def chan_comb():
+            s.in_.rdy.value = (not s.full.uint()) \
+                and (not s.f_stall.uint())
+            s.out.val.value = s.full.uint()
+            s.out.msg.value = s.buf.uint()
+
+        @s.tick_rtl
+        def chan_seq():
+            if s.reset.uint():
+                s.full.next = 0
+            else:
+                if s.full.uint() and s.out.rdy.uint():
+                    s.full.next = 0
+                if s.in_.val.uint() and s.f_stall.uint():
+                    s.ctr_stalled.incr()
+                if s.in_.val.uint() and not s.full.uint() \
+                        and not s.f_stall.uint():
+                    if s.f_drop.uint():
+                        s.ctr_dropped.incr()
+                    else:
+                        if s.f_corrupt.uint():
+                            s.ctr_corrupted.incr()
+                        s.buf.next = s.in_.msg.uint() \
+                            ^ s.f_corrupt.uint()
+                        s.full.next = 1
+
+    def is_empty(s):
+        return not int(s.full.value)
+
+    def line_trace(s):
+        return "*" if int(s.full.value) else "."
+
+
+class _SenderParams:
+    """Shared protocol parameterization for the three sender levels."""
+
+    def _init_params(s, payload_nbits, seq_bits, max_retries,
+                     timeout, backoff_base, backoff_cap):
+        s.payload_nbits = payload_nbits
+        s.seq_bits = seq_bits
+        s.seq_mask = (1 << seq_bits) - 1
+        s.frame_nbits = CRC_BITS + seq_bits + payload_nbits
+        s.ack_nbits = CRC_BITS + 1 + seq_bits
+        s.max_retries = max_retries
+        s.timeout = timeout
+        s.backoff_base = backoff_base
+        s.backoff_cap = backoff_cap
+        s.in_ = InValRdyBundle(payload_nbits)
+        s.frame = OutValRdyBundle(s.frame_nbits)
+        s.ack = InValRdyBundle(s.ack_nbits)
+        s.ctr_sent = s.counter(
+            "frames_sent", "frame transmissions accepted by the "
+            "forward channel (includes retransmissions)")
+        s.ctr_acked = s.counter(
+            "acked", "payloads acknowledged end-to-end")
+        s.ctr_retries = s.counter(
+            "retries", "retransmission attempts (timeout or NACK)")
+        s.ctr_timeouts = s.counter(
+            "timeouts", "ack timeouts expired while waiting")
+        s.ctr_giveups = s.counter(
+            "giveups", "payloads abandoned after max_retries")
+        s.ctr_ack_crc = s.counter(
+            "ack_crc_drops", "acks discarded for CRC failure")
+
+    def _parse_ack(s, word):
+        """(crc_ok, kind, seq) of a received ack word."""
+        body_bits = 1 + s.seq_bits
+        body = word & ((1 << body_bits) - 1)
+        ok = (word >> body_bits) == crc8(body, body_bits)
+        return ok, (body >> s.seq_bits) & 1, body & s.seq_mask
+
+    def _backoff(s, attempt):
+        shift = attempt if attempt < s.backoff_cap else s.backoff_cap
+        return s.backoff_base << shift
+
+
+class SenderFL(Model, _SenderParams):
+    """Functional-level sender: the protocol as one behavioral loop
+    over a plain state dict (checkpointable python state)."""
+
+    def __init__(s, payload_nbits, seq_bits=4, max_retries=16,
+                 timeout=8, backoff_base=2, backoff_cap=3):
+        s._init_params(payload_nbits, seq_bits, max_retries,
+                       timeout, backoff_base, backoff_cap)
+        s.proto = {"state": _IDLE, "seq": 0, "pay": 0,
+                   "attempt": 0, "timer": 0}
+
+        @s.tick_fl
+        def sender_fl():
+            p = s.proto
+            if s.reset.uint():
+                p.update(state=_IDLE, seq=0, pay=0, attempt=0, timer=0)
+                s.in_.rdy.next = 0
+                s.frame.val.next = 0
+                s.ack.rdy.next = 1
+                return
+            st0 = p["state"]
+            # Frame accepted by the channel on the last edge?
+            if st0 == _SEND and s.frame.val.uint() \
+                    and s.frame.rdy.uint():
+                p["state"] = _WAIT
+                p["timer"] = s.timeout
+                s.ctr_sent.incr()
+            # Ack words are consumed every cycle (rdy is always 1).
+            if s.ack.val.uint():
+                ok, kind, aseq = s._parse_ack(s.ack.msg.uint())
+                if not ok:
+                    s.ctr_ack_crc.incr()
+                elif p["state"] != _IDLE and aseq == p["seq"]:
+                    if kind == _ACK:
+                        p["state"] = _IDLE
+                        p["seq"] = (p["seq"] + 1) & s.seq_mask
+                        p["attempt"] = 0
+                        s.ctr_acked.incr()
+                    else:
+                        s._retry(p)
+            # Timers advance only in a state no event just changed.
+            if p["state"] == st0:
+                if st0 == _WAIT:
+                    p["timer"] -= 1
+                    if p["timer"] <= 0:
+                        s.ctr_timeouts.incr()
+                        s._retry(p)
+                elif st0 == _BACKOFF:
+                    p["timer"] -= 1
+                    if p["timer"] <= 0:
+                        p["state"] = _SEND
+            # New payload latched on the last edge?
+            if p["state"] == _IDLE and s.in_.val.uint() \
+                    and s.in_.rdy.uint():
+                p["pay"] = s.in_.msg.uint()
+                p["state"] = _SEND
+            s.in_.rdy.next = 1 if p["state"] == _IDLE else 0
+            s.frame.val.next = 1 if p["state"] == _SEND else 0
+            s.frame.msg.next = pack_frame(
+                p["seq"], p["pay"], s.seq_bits, s.payload_nbits)
+            s.ack.rdy.next = 1
+
+    def _retry(s, p):
+        p["attempt"] += 1
+        if p["attempt"] > s.max_retries:
+            s.ctr_giveups.incr()
+            p["state"] = _IDLE
+            p["seq"] = (p["seq"] + 1) & s.seq_mask
+            p["attempt"] = 0
+        else:
+            s.ctr_retries.incr()
+            p["state"] = _BACKOFF
+            p["timer"] = s._backoff(p["attempt"])
+
+    def is_idle(s):
+        return s.proto["state"] == _IDLE
+
+    def line_trace(s):
+        return f"S{s.proto['state']}"
+
+
+class SenderCL(Model, _SenderParams):
+    """Cycle-level sender: flat integer state, registered outputs
+    (SimJIT-CL-style int state, RouterCL idiom)."""
+
+    def __init__(s, payload_nbits, seq_bits=4, max_retries=16,
+                 timeout=8, backoff_base=2, backoff_cap=3):
+        s._init_params(payload_nbits, seq_bits, max_retries,
+                       timeout, backoff_base, backoff_cap)
+        s.st = _IDLE
+        s.seq = 0
+        s.pay = 0
+        s.att = 0
+        s.tmr = 0
+
+        @s.tick_cl
+        def sender_cl():
+            if s.reset.uint():
+                s.st = _IDLE
+                s.seq = 0
+                s.pay = 0
+                s.att = 0
+                s.tmr = 0
+                s.in_.rdy.next = 0
+                s.frame.val.next = 0
+                s.ack.rdy.next = 1
+            else:
+                st0 = s.st
+                if st0 == _SEND and s.frame.val.uint() \
+                        and s.frame.rdy.uint():
+                    s.st = _WAIT
+                    s.tmr = s.timeout
+                    s.ctr_sent.incr()
+                if s.ack.val.uint():
+                    ok, kind, aseq = s._parse_ack(s.ack.msg.uint())
+                    if not ok:
+                        s.ctr_ack_crc.incr()
+                    elif s.st != _IDLE and aseq == s.seq:
+                        if kind == _ACK:
+                            s.st = _IDLE
+                            s.seq = (s.seq + 1) & s.seq_mask
+                            s.att = 0
+                            s.ctr_acked.incr()
+                        else:
+                            s._retry_cl()
+                if s.st == st0:
+                    if st0 == _WAIT:
+                        s.tmr = s.tmr - 1
+                        if s.tmr <= 0:
+                            s.ctr_timeouts.incr()
+                            s._retry_cl()
+                    elif st0 == _BACKOFF:
+                        s.tmr = s.tmr - 1
+                        if s.tmr <= 0:
+                            s.st = _SEND
+                if s.st == _IDLE and s.in_.val.uint() \
+                        and s.in_.rdy.uint():
+                    s.pay = s.in_.msg.uint()
+                    s.st = _SEND
+                s.in_.rdy.next = 1 if s.st == _IDLE else 0
+                s.frame.val.next = 1 if s.st == _SEND else 0
+                s.frame.msg.next = pack_frame(
+                    s.seq, s.pay, s.seq_bits, s.payload_nbits)
+                s.ack.rdy.next = 1
+
+    def _retry_cl(s):
+        s.att = s.att + 1
+        if s.att > s.max_retries:
+            s.ctr_giveups.incr()
+            s.st = _IDLE
+            s.seq = (s.seq + 1) & s.seq_mask
+            s.att = 0
+        else:
+            s.ctr_retries.incr()
+            s.st = _BACKOFF
+            s.tmr = s._backoff(s.att)
+
+    def is_idle(s):
+        return s.st == _IDLE
+
+    def line_trace(s):
+        return f"S{s.st}"
+
+
+class SenderRTL(Model, _SenderParams):
+    """RTL sender: a Moore FSM in ``Wire`` registers with a
+    combinational output decode (immediate, un-registered outputs)."""
+
+    def __init__(s, payload_nbits, seq_bits=4, max_retries=16,
+                 timeout=8, backoff_base=2, backoff_cap=3):
+        s._init_params(payload_nbits, seq_bits, max_retries,
+                       timeout, backoff_base, backoff_cap)
+        s.r_state = Wire(2)
+        s.r_seq = Wire(seq_bits)
+        s.r_pay = Wire(payload_nbits)
+        s.r_att = Wire(6)
+        s.r_tmr = Wire(8)
+
+        @s.combinational
+        def sender_out():
+            st = s.r_state.uint()
+            s.in_.rdy.value = 1 if st == _IDLE else 0
+            s.frame.val.value = 1 if st == _SEND else 0
+            s.frame.msg.value = pack_frame(
+                s.r_seq.uint(), s.r_pay.uint(),
+                s.seq_bits, s.payload_nbits)
+            s.ack.rdy.value = 1
+
+        @s.tick_rtl
+        def sender_seq():
+            if s.reset.uint():
+                s.r_state.next = _IDLE
+                s.r_seq.next = 0
+                s.r_pay.next = 0
+                s.r_att.next = 0
+                s.r_tmr.next = 0
+            else:
+                st = st0 = s.r_state.uint()
+                seq = s.r_seq.uint()
+                att = s.r_att.uint()
+                tmr = s.r_tmr.uint()
+                if st == _SEND and s.frame.rdy.uint():
+                    # frame.val is combinational (st == SEND), so rdy
+                    # alone completes the handshake this edge.
+                    st = _WAIT
+                    tmr = s.timeout
+                    s.ctr_sent.incr()
+                if s.ack.val.uint():
+                    ok, kind, aseq = s._parse_ack(s.ack.msg.uint())
+                    if not ok:
+                        s.ctr_ack_crc.incr()
+                    elif st != _IDLE and aseq == seq:
+                        if kind == _ACK:
+                            st = _IDLE
+                            seq = (seq + 1) & s.seq_mask
+                            att = 0
+                            s.ctr_acked.incr()
+                        else:
+                            st, seq, att, tmr = s._retry_rtl(
+                                seq, att)
+                if st == st0:
+                    if st0 == _WAIT:
+                        tmr = tmr - 1
+                        if tmr <= 0:
+                            s.ctr_timeouts.incr()
+                            st, seq, att, tmr = s._retry_rtl(
+                                seq, att)
+                    elif st0 == _BACKOFF:
+                        tmr = tmr - 1
+                        if tmr <= 0:
+                            st = _SEND
+                            tmr = 0
+                if st0 == _IDLE and s.in_.val.uint():
+                    # in_.rdy is combinational on the *registered*
+                    # state, so a handshake only happened this edge if
+                    # the cycle started in IDLE (st0, not st).
+                    s.r_pay.next = s.in_.msg.uint()
+                    st = _SEND
+                s.r_state.next = st
+                s.r_seq.next = seq
+                s.r_att.next = att
+                s.r_tmr.next = max(tmr, 0)
+
+    def _retry_rtl(s, seq, att):
+        att = att + 1
+        if att > s.max_retries:
+            s.ctr_giveups.incr()
+            return _IDLE, (seq + 1) & s.seq_mask, 0, 0
+        s.ctr_retries.incr()
+        return _BACKOFF, seq, att, s._backoff(att)
+
+    def is_idle(s):
+        return int(s.r_state.value) == _IDLE
+
+    def line_trace(s):
+        return f"S{int(s.r_state.value)}"
+
+
+class _ReceiverParams:
+    def _init_params(s, payload_nbits, seq_bits):
+        s.payload_nbits = payload_nbits
+        s.seq_bits = seq_bits
+        s.seq_mask = (1 << seq_bits) - 1
+        s.frame_nbits = CRC_BITS + seq_bits + payload_nbits
+        s.ack_nbits = CRC_BITS + 1 + seq_bits
+        s.frame = InValRdyBundle(s.frame_nbits)
+        s.out = OutValRdyBundle(payload_nbits)
+        s.ack_o = OutValRdyBundle(s.ack_nbits)
+        s.ctr_delivered = s.counter(
+            "delivered", "in-sequence payloads delivered downstream")
+        s.ctr_dups = s.counter(
+            "dup_frames", "duplicate frames re-acked, not redelivered")
+        s.ctr_crc = s.counter(
+            "crc_drops", "frames rejected for CRC failure (NACKed)")
+
+    def _parse_frame(s, word):
+        """(crc_ok, seq, payload) of a received frame word."""
+        body_bits = s.seq_bits + s.payload_nbits
+        body = word & ((1 << body_bits) - 1)
+        ok = (word >> body_bits) == crc8(body, body_bits)
+        return (ok, (body >> s.payload_nbits) & s.seq_mask,
+                body & ((1 << s.payload_nbits) - 1))
+
+
+class ReceiverFL(Model, _ReceiverParams):
+    """Functional-level receiver: dict state, behavioral tick."""
+
+    def __init__(s, payload_nbits, seq_bits=4):
+        s._init_params(payload_nbits, seq_bits)
+        s.proto = {"expect": 0}
+
+        @s.tick_fl
+        def receiver_fl():
+            if s.reset.uint():
+                s.proto["expect"] = 0
+                s.out.val.next = 0
+                s.ack_o.val.next = 0
+                s.frame.rdy.next = 0
+                return
+            out_p = bool(s.out.val.uint()) \
+                and not s.out.rdy.uint()
+            if s.out.val.uint() and s.out.rdy.uint():
+                s.out.val.next = 0
+            ack_p = bool(s.ack_o.val.uint()) \
+                and not s.ack_o.rdy.uint()
+            if s.ack_o.val.uint() and s.ack_o.rdy.uint():
+                s.ack_o.val.next = 0
+            if s.frame.val.uint() and s.frame.rdy.uint():
+                ok, fseq, pay = s._parse_frame(s.frame.msg.uint())
+                if not ok:
+                    s.ctr_crc.incr()
+                    s.ack_o.msg.next = pack_ack(
+                        _NACK, s.proto["expect"], s.seq_bits)
+                elif fseq == s.proto["expect"]:
+                    s.out.msg.next = pay
+                    s.out.val.next = 1
+                    out_p = True
+                    s.proto["expect"] = (fseq + 1) & s.seq_mask
+                    s.ctr_delivered.incr()
+                    s.ack_o.msg.next = pack_ack(
+                        _ACK, fseq, s.seq_bits)
+                else:
+                    s.ctr_dups.incr()
+                    s.ack_o.msg.next = pack_ack(
+                        _ACK, fseq, s.seq_bits)
+                s.ack_o.val.next = 1
+                ack_p = True
+            s.frame.rdy.next = 0 if (out_p or ack_p) else 1
+
+    def is_idle(s):
+        return not int(s.out.val.value) and not int(s.ack_o.val.value)
+
+    def line_trace(s):
+        return f"R{s.proto['expect']}"
+
+
+class ReceiverCL(Model, _ReceiverParams):
+    """Cycle-level receiver: int state, registered outputs."""
+
+    def __init__(s, payload_nbits, seq_bits=4):
+        s._init_params(payload_nbits, seq_bits)
+        s.expect = 0
+
+        @s.tick_cl
+        def receiver_cl():
+            if s.reset.uint():
+                s.expect = 0
+                s.out.val.next = 0
+                s.ack_o.val.next = 0
+                s.frame.rdy.next = 0
+            else:
+                out_p = 1 if (s.out.val.uint()
+                              and not s.out.rdy.uint()) else 0
+                if s.out.val.uint() and s.out.rdy.uint():
+                    s.out.val.next = 0
+                ack_p = 1 if (s.ack_o.val.uint()
+                              and not s.ack_o.rdy.uint()) else 0
+                if s.ack_o.val.uint() and s.ack_o.rdy.uint():
+                    s.ack_o.val.next = 0
+                if s.frame.val.uint() and s.frame.rdy.uint():
+                    ok, fseq, pay = s._parse_frame(
+                        s.frame.msg.uint())
+                    if not ok:
+                        s.ctr_crc.incr()
+                        s.ack_o.msg.next = pack_ack(
+                            _NACK, s.expect, s.seq_bits)
+                    elif fseq == s.expect:
+                        s.out.msg.next = pay
+                        s.out.val.next = 1
+                        out_p = 1
+                        s.expect = (fseq + 1) & s.seq_mask
+                        s.ctr_delivered.incr()
+                        s.ack_o.msg.next = pack_ack(
+                            _ACK, fseq, s.seq_bits)
+                    else:
+                        s.ctr_dups.incr()
+                        s.ack_o.msg.next = pack_ack(
+                            _ACK, fseq, s.seq_bits)
+                    s.ack_o.val.next = 1
+                    ack_p = 1
+                s.frame.rdy.next = 0 if (out_p or ack_p) else 1
+
+    def is_idle(s):
+        return not int(s.out.val.value) and not int(s.ack_o.val.value)
+
+    def line_trace(s):
+        return f"R{s.expect}"
+
+
+class ReceiverRTL(Model, _ReceiverParams):
+    """RTL receiver: ``Wire`` registers holding the pending offers,
+    combinational decode of ``frame.rdy`` and the output channels."""
+
+    def __init__(s, payload_nbits, seq_bits=4):
+        s._init_params(payload_nbits, seq_bits)
+        s.r_expect = Wire(seq_bits)
+        s.r_oval = Wire(1)
+        s.r_omsg = Wire(payload_nbits)
+        s.r_aval = Wire(1)
+        s.r_amsg = Wire(s.ack_nbits)
+
+        @s.combinational
+        def receiver_out():
+            s.out.val.value = s.r_oval.uint()
+            s.out.msg.value = s.r_omsg.uint()
+            s.ack_o.val.value = s.r_aval.uint()
+            s.ack_o.msg.value = s.r_amsg.uint()
+            s.frame.rdy.value = (not s.r_oval.uint()) \
+                and (not s.r_aval.uint()) and (not s.reset.uint())
+
+        @s.tick_rtl
+        def receiver_seq():
+            if s.reset.uint():
+                s.r_expect.next = 0
+                s.r_oval.next = 0
+                s.r_aval.next = 0
+            else:
+                if s.r_oval.uint() and s.out.rdy.uint():
+                    s.r_oval.next = 0
+                if s.r_aval.uint() and s.ack_o.rdy.uint():
+                    s.r_aval.next = 0
+                if s.frame.val.uint() and s.frame.rdy.uint():
+                    ok, fseq, pay = s._parse_frame(
+                        s.frame.msg.uint())
+                    if not ok:
+                        s.ctr_crc.incr()
+                        s.r_amsg.next = pack_ack(
+                            _NACK, s.r_expect.uint(), s.seq_bits)
+                    elif fseq == s.r_expect.uint():
+                        s.r_omsg.next = pay
+                        s.r_oval.next = 1
+                        s.r_expect.next = (fseq + 1) & s.seq_mask
+                        s.ctr_delivered.incr()
+                        s.r_amsg.next = pack_ack(
+                            _ACK, fseq, s.seq_bits)
+                    else:
+                        s.ctr_dups.incr()
+                        s.r_amsg.next = pack_ack(
+                            _ACK, fseq, s.seq_bits)
+                    s.r_aval.next = 1
+
+    def is_idle(s):
+        return not int(s.r_oval.value) and not int(s.r_aval.value)
+
+    def line_trace(s):
+        return f"R{int(s.r_expect.value)}"
+
+
+_SENDERS = {"fl": SenderFL, "cl": SenderCL, "rtl": SenderRTL}
+_RECEIVERS = {"fl": ReceiverFL, "cl": ReceiverCL, "rtl": ReceiverRTL}
+
+
+class ResilientLink(Model):
+    """Reliable transport over two unreliable channels.
+
+    ::
+
+        in_ -> sender -> fwd(UnreliableChannel) -> receiver -> out
+                  ^                                    |
+                  +------ rev(UnreliableChannel) <-- ack
+
+    ``level`` picks the sender/receiver modeling level (``"fl"``,
+    ``"cl"``, ``"rtl"``); the two channels are always the same
+    structural model so a fault schedule addressed as ``"fwd.f_drop"``
+    etc. hits every level identically.
+    """
+
+    def __init__(s, payload_nbits=16, level="rtl", seq_bits=4,
+                 max_retries=16, timeout=8, backoff_base=2,
+                 backoff_cap=3):
+        if level not in _SENDERS:
+            raise ValueError(
+                f"level must be one of {sorted(_SENDERS)}; "
+                f"got {level!r}")
+        s.payload_nbits = payload_nbits
+        s.level = level
+        s.in_ = InValRdyBundle(payload_nbits)
+        s.out = OutValRdyBundle(payload_nbits)
+
+        s.sender = _SENDERS[level](
+            payload_nbits, seq_bits=seq_bits, max_retries=max_retries,
+            timeout=timeout, backoff_base=backoff_base,
+            backoff_cap=backoff_cap)
+        s.receiver = _RECEIVERS[level](payload_nbits,
+                                       seq_bits=seq_bits)
+        s.fwd = UnreliableChannel(s.sender.frame_nbits)
+        s.rev = UnreliableChannel(s.sender.ack_nbits)
+
+        s.connect(s.in_, s.sender.in_)
+        s.connect(s.sender.frame, s.fwd.in_)
+        s.connect(s.fwd.out, s.receiver.frame)
+        s.connect(s.receiver.out, s.out)
+        s.connect(s.receiver.ack_o, s.rev.in_)
+        s.connect(s.rev.out, s.sender.ack)
+
+    def is_idle(s):
+        """True when no payload, frame, or ack is anywhere in flight."""
+        return (s.sender.is_idle() and s.receiver.is_idle()
+                and not int(s.fwd.full.value)
+                and not int(s.rev.full.value))
+
+    def line_trace(s):
+        return (f"{s.in_.to_str()} {s.sender.line_trace()}"
+                f"{s.fwd.line_trace()}{s.receiver.line_trace()}"
+                f"{s.rev.line_trace()} {s.out.to_str()}")

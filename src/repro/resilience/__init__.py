@@ -1,0 +1,69 @@
+"""Resilience subsystem: fault injection, checkpoint/restore, guard.
+
+Split across four modules:
+
+- :mod:`.warnings` — :class:`ResilienceWarning`, the structured
+  graceful-degradation warning every fallback path emits;
+- :mod:`.inject` — SEU bit-flips, stuck-at faults, and lossy-link
+  injectors installed by dotted path on a running simulator;
+- :mod:`.snapshot` — checkpoint/restore with a round-trip-equals-
+  uninterrupted-run guarantee, plus periodic checkpoint rings;
+- :mod:`.guard` — watchdog (wall-clock/cycle budgets + diagnostics),
+  oscillation diagnosis, and SimJIT specialize-or-fallback.
+
+Only :mod:`.warnings` is imported eagerly (the core simulator loads it
+at import time); everything else resolves lazily so importing the core
+never drags in the verif/telemetry dependencies of the heavier
+modules.
+"""
+
+from .warnings import KINDS, ResilienceWarning, warn_resilience
+
+__all__ = [
+    "ResilienceWarning",
+    "warn_resilience",
+    "KINDS",
+    # .inject
+    "SEUInjector",
+    "StuckAtFault",
+    "LinkFaultInjector",
+    "fault_schedule",
+    "resolve_path",
+    # .snapshot
+    "Checkpoint",
+    "CheckpointError",
+    "CheckpointRing",
+    "save_checkpoint",
+    "restore_checkpoint",
+    # .guard
+    "Watchdog",
+    "WatchdogTimeout",
+    "diagnose_oscillation",
+    "specialize_or_fallback",
+]
+
+_LAZY = {
+    "SEUInjector": "inject",
+    "StuckAtFault": "inject",
+    "LinkFaultInjector": "inject",
+    "fault_schedule": "inject",
+    "resolve_path": "inject",
+    "Checkpoint": "snapshot",
+    "CheckpointError": "snapshot",
+    "CheckpointRing": "snapshot",
+    "save_checkpoint": "snapshot",
+    "restore_checkpoint": "snapshot",
+    "Watchdog": "guard",
+    "WatchdogTimeout": "guard",
+    "diagnose_oscillation": "guard",
+    "specialize_or_fallback": "guard",
+}
+
+
+def __getattr__(name):
+    modname = _LAZY.get(name)
+    if modname is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+    return getattr(import_module(f".{modname}", __name__), name)

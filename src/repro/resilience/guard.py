@@ -1,0 +1,235 @@
+"""Self-healing simulation loop: watchdog + degradation helpers.
+
+Three tools for keeping long simulations alive and debuggable:
+
+- :class:`Watchdog` wraps ``sim.run()`` with wall-clock and cycle
+  budgets, checked between bounded chunks, and produces a structured
+  diagnostics report (JSON-serializable) when a run is killed — CI
+  uploads these as artifacts instead of leaving a silent hang.
+- :func:`diagnose_oscillation` names the signals that keep toggling
+  when a combinational settle phase blows its event budget, turning
+  "likely a combinational loop" into "likely a combinational loop;
+  oscillating signals: top.a, top.b".
+- :func:`specialize_or_fallback` attempts SimJIT specialization and,
+  on any compile/link/translation failure, returns the original
+  interpreted model with one structured :class:`ResilienceWarning`
+  instead of aborting the run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from time import perf_counter
+
+from .warnings import warn_resilience
+from ..core.simulation import SimulationError
+
+__all__ = [
+    "Watchdog",
+    "WatchdogTimeout",
+    "diagnose_oscillation",
+    "specialize_or_fallback",
+]
+
+
+def diagnose_oscillation(sim, max_events=200):
+    """Identify oscillating signals in a non-converging settle phase.
+
+    Runs up to ``max_events`` further block evaluations, snapshotting
+    every net value around each one, and tallies per-net toggle counts
+    and per-block fire counts.  Returns a one-line human diagnostic
+    naming the hottest signals (empty string if nothing toggles or the
+    probe itself fails — diagnostics must never mask the real error).
+    """
+    try:
+        return _diagnose_oscillation(sim, max_events)
+    except Exception:
+        return ""
+
+
+def _diagnose_oscillation(sim, max_events):
+    nets = sim.model._all_nets
+    toggles = {}                      # net id -> toggle count
+    fires = {}                        # func name -> fire count
+    before = [net._value for net in nets]
+
+    def account():
+        changed = False
+        for i, net in enumerate(nets):
+            if net._value != before[i]:
+                toggles[i] = toggles.get(i, 0) + 1
+                before[i] = net._value
+                changed = True
+        return changed
+
+    events = 0
+    queue = sim._queue
+    while events < max_events:
+        if sim._sdirty:
+            events += max(1, sim._run_static_pass())
+            account()
+            continue
+        if not queue:
+            break
+        func = queue.popleft()
+        func._in_queue = False
+        func()
+        events += 1
+        name = getattr(func, "__name__", repr(func))
+        fires[name] = fires.get(name, 0) + 1
+        account()
+
+    if not toggles:
+        return ""
+    # Map toggling nets back to user-visible signal names.
+    names_by_net = {}
+    for sig in sim.model._all_signals:
+        net = sig._net.find()
+        nm = sig.name or ""
+        if nm and (net.id not in names_by_net
+                   or len(nm) < len(names_by_net[net.id])):
+            names_by_net[net.id] = nm
+    ranked = sorted(toggles.items(), key=lambda kv: -kv[1])
+    parts = []
+    for net_id, count in ranked[:6]:
+        nm = names_by_net.get(nets[net_id].id, f"<net {net_id}>")
+        parts.append(f"{nm} ({count} toggles)")
+    msg = "oscillating signals: " + ", ".join(parts)
+    if fires:
+        hot = sorted(fires.items(), key=lambda kv: -kv[1])[:3]
+        msg += "; hottest blocks: " + ", ".join(
+            f"{nm} x{ct}" for nm, ct in hot)
+    return msg
+
+
+class WatchdogTimeout(SimulationError):
+    """A watchdog budget (wall clock or cycles) was exceeded.
+
+    Carries ``diagnostics``, the same dict :meth:`Watchdog.diagnostics`
+    returns, so the killer and the report agree."""
+
+    def __init__(self, message, diagnostics=None):
+        super().__init__(message)
+        self.diagnostics = diagnostics or {}
+
+
+class Watchdog:
+    """Budgeted driver for a :class:`SimulationTool`.
+
+    Runs the simulation in chunks of ``check_every`` cycles and checks
+    the wall-clock and cycle budgets between chunks, so a hung design
+    (livelocked protocol, runaway retry storm) is killed with a
+    diagnosis instead of hanging CI until the outer job timeout::
+
+        wd = Watchdog(sim, max_wall_seconds=30.0)
+        try:
+            wd.run(100_000)
+        except WatchdogTimeout as exc:
+            wd.write_report("watchdog.json")
+            raise
+
+    Combinational non-convergence inside a chunk already raises
+    :class:`~repro.core.simulation.SimulationError` with the
+    oscillation diagnostic appended; the watchdog re-raises it after
+    recording diagnostics.
+    """
+
+    def __init__(self, sim, max_wall_seconds=None, max_cycles=None,
+                 check_every=64):
+        self.sim = sim
+        self.max_wall_seconds = max_wall_seconds
+        self.max_cycles = max_cycles
+        self.check_every = max(1, int(check_every))
+        self._start = None
+        self._last_error = ""
+
+    def run(self, ncycles):
+        """Run up to ``ncycles`` cycles under the configured budgets."""
+        sim = self.sim
+        self._start = perf_counter()
+        start_cycle = sim.ncycles
+        done = 0
+        while done < ncycles:
+            chunk = min(self.check_every, ncycles - done)
+            try:
+                sim.run(chunk)
+            except Exception as exc:
+                self._last_error = f"{type(exc).__name__}: {exc}"
+                raise
+            done += chunk
+            if (self.max_wall_seconds is not None
+                    and perf_counter() - self._start
+                        > self.max_wall_seconds):
+                diag = self.diagnostics()
+                raise WatchdogTimeout(
+                    f"watchdog: wall clock exceeded "
+                    f"{self.max_wall_seconds}s after "
+                    f"{sim.ncycles - start_cycle} cycles", diag)
+            if (self.max_cycles is not None
+                    and sim.ncycles - start_cycle >= self.max_cycles):
+                diag = self.diagnostics()
+                raise WatchdogTimeout(
+                    f"watchdog: cycle budget {self.max_cycles} "
+                    f"exceeded", diag)
+        return done
+
+    def diagnostics(self):
+        """Structured post-mortem: where the design was when killed."""
+        sim = self.sim
+        elapsed = (perf_counter() - self._start
+                   if self._start is not None else 0.0)
+        try:
+            trace = sim.model.line_trace()
+        except Exception as exc:
+            trace = f"<line_trace unavailable: {exc}>"
+        diag = {
+            "cycle": sim.ncycles,
+            "num_events": sim.num_events,
+            "elapsed_seconds": round(elapsed, 6),
+            "line_trace": trace,
+            "sched": sim.sched_info(),
+            "last_error": self._last_error,
+        }
+        if sim.trace_log:
+            diag["recent_traces"] = [
+                {"cycle": c, "trace": t} for c, t in sim.trace_log]
+        return diag
+
+    def write_report(self, path):
+        """Write :meth:`diagnostics` as JSON (for CI artifact upload)."""
+        diag = self.diagnostics()
+        d = os.path.dirname(path)
+        if d:
+            os.makedirs(d, exist_ok=True)
+        with open(path, "w") as f:
+            json.dump(diag, f, indent=2, default=str)
+        return diag
+
+
+def specialize_or_fallback(model, specializer=None, **kwargs):
+    """SimJIT-specialize ``model``, degrading to the interpreter.
+
+    Returns ``specializer(model).specialize(...)`` on success.  On any
+    specialization failure (translation refusal, gcc compile/link
+    error, missing cffi) it emits one structured ``simjit-fallback``
+    :class:`ResilienceWarning` and returns the elaborated original
+    model, which simulates identically — just slower.
+    """
+    if specializer is None:
+        from ..core.simjit import SimJITRTL as specializer  # noqa: N813
+    try:
+        return specializer(model, **kwargs).specialize()
+    except Exception as exc:
+        warn_resilience(
+            f"SimJIT specialization of {type(model).__name__} failed; "
+            f"continuing on the interpreted simulator "
+            f"({type(exc).__name__}: {exc})",
+            kind="simjit-fallback",
+            component=type(model).__name__,
+            fallback="interpreted",
+            detail=str(exc),
+            stacklevel=3)
+        if not model.is_elaborated():
+            model.elaborate()
+        return model

@@ -41,18 +41,37 @@ def shrink_stimulus(stimulus, still_fails, max_runs=250):
     smaller chunks until a fixpoint; at most ``max_runs`` re-executions
     are spent.  Returns the shrunk stimulus (per-channel order of the
     surviving transactions is preserved).
+
+    Outcomes are memoized by the candidate transaction tuple: ddmin
+    revisits the same prefix/suffix combinations as the chunk size
+    halves (and again after any successful removal rewinds the scan),
+    and each probe is a full co-simulation — skipping a repeat is worth
+    far more than the hash.  Cache hits do not count against
+    ``max_runs``.
     """
     channels = list(stimulus)
     events = _flatten(stimulus)
     runs = 0
+    outcomes = {}                  # tuple(events) -> bool(still fails)
+
+    def probe(candidate):
+        nonlocal runs
+        key = tuple(candidate)
+        cached = outcomes.get(key)
+        if cached is not None:
+            return cached
+        runs += 1
+        result = bool(still_fails(_rebuild(candidate, channels)))
+        outcomes[key] = result
+        return result
+
     chunk = max(1, len(events) // 2)
     while chunk >= 1 and runs < max_runs:
         i = 0
         removed = False
         while i < len(events) and runs < max_runs:
             candidate = events[:i] + events[i + chunk:]
-            runs += 1
-            if still_fails(_rebuild(candidate, channels)):
+            if probe(candidate):
                 events = candidate
                 removed = True
             else:

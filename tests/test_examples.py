@@ -21,6 +21,7 @@ EXAMPLES = [
     "auto_specialize_tile.py",
     "memory_over_network.py",
     "mesh_telemetry_demo.py",
+    "resilience_demo.py",
 ]
 
 

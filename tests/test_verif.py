@@ -247,6 +247,42 @@ def test_shrink_preserves_order():
     assert shrunk == {"a": [9, 9]}
 
 
+def test_shrink_empty_stimulus_is_noop():
+    calls = []
+
+    def still_fails(candidate):
+        calls.append(candidate)
+        return True
+
+    assert shrink_stimulus({}, still_fails) == {}
+    assert shrink_stimulus({"a": []}, still_fails) == {"a": []}
+
+
+def test_shrink_single_transaction():
+    # Irreducible: the lone transaction is the failure.
+    shrunk = shrink_stimulus({"a": [42]}, lambda s: 42 in s["a"])
+    assert shrunk == {"a": [42]}
+    # Reducible: the transaction is irrelevant and gets dropped.
+    shrunk = shrink_stimulus({"a": [42]}, lambda s: True)
+    assert shrunk == {"a": []}
+
+
+def test_shrink_memoizes_repeated_candidates():
+    seen = []
+
+    def still_fails(candidate):
+        seen.append(tuple(
+            (ch, p) for ch in sorted(candidate)
+            for p in candidate[ch]))
+        return 7 in candidate["a"] and 3 in candidate["a"]
+
+    shrunk = shrink_stimulus({"a": list(range(10))}, still_fails)
+    assert shrunk == {"a": [3, 7]}
+    # Every actual re-execution was for a distinct candidate: repeats
+    # served from the memo never reach still_fails.
+    assert len(seen) == len(set(seen))
+
+
 def test_shrink_cosim_failure_rejects_passing_scenario():
     class _NeverFails:
         def run(self, stimulus, **kwargs):
