@@ -1,0 +1,162 @@
+#!/usr/bin/env python
+"""Waveform observatory on the resilience case studies.
+
+Three pillars, two designs:
+
+- **flight recorder** — an always-on, change-compressed ring buffer of
+  the last N cycles of chosen signals, armed here on a mesh network's
+  router arbiters while the mega-cycle kernel keeps running;
+- **temporal watchpoints** — ``rose`` / ``stable_for`` /
+  ``implies_within`` trigger combinators, armed on a
+  :class:`ResilientLink` whose forward channel a
+  :class:`LinkFaultInjector` is actively sabotaging: the retry
+  machinery trips the watchpoints;
+- **post-mortem forensics** — a halting watchpoint stops the run with
+  a structured diagnostic and dumps a ``repro-observe-v1`` bundle
+  (JSON manifest + VCD window), rendered back as an ASCII waveform —
+  the same bundle ``python -m repro.observe.dump`` prints.
+
+Run:  python examples/observe_demo.py [nrouters] [ncycles]
+"""
+
+import json
+import os
+import sys
+
+from repro import SimulationTool
+from repro.net import MeshNetworkStructural, RouterRTL
+from repro.net.resilient_link import ResilientLink
+from repro.observe import (
+    WatchpointHit,
+    changed,
+    load_bundle,
+    rose,
+    stable_for,
+)
+from repro.observe.dump import render, render_window
+from repro.resilience import LinkFaultInjector
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "observe_out")
+
+
+def mesh_flight_recorder(nrouters, ncycles):
+    """Arm a recorder on router-internal arbiter state, run standing
+    traffic on the compiled kernel, and show the recorded tail."""
+    print(f"=== flight recorder: {nrouters}-router mesh, "
+          f"{ncycles} cycles ===")
+    net = MeshNetworkStructural(RouterRTL, nrouters, 256, 32, 2)
+    net.elaborate()
+    sim = SimulationTool(net, sched="static")
+    sim.reset()
+
+    # Tap the arbiter state on router 0's EAST/SOUTH outputs — the
+    # ports the bursty traffic below actually flows through.
+    rec = sim.flight_recorder(
+        signals=["routers[0].grant_val[2]", "routers[0].grant_val[3]",
+                 "routers[1].grant_val[4]", "routers[0].priority[2]"],
+        depth=64)
+    print(f"armed: {rec!r}")
+    print(f"kernel still active: {sim.sched_info()['kernel']}")
+
+    dest_lo, _ = net.msg_type.field_slice("dest")
+    for i in range(nrouters):
+        net.out[i].rdy.value = 1
+    # Bursty traffic in kernel-sized chunks: the stimulus changes
+    # between chunks, the compiled kernel runs within them.
+    chunk = max(1, ncycles // 40)
+    for burst in range(40):
+        net.in_[0].val.value = burst % 3 != 2
+        net.in_[0].msg.value = (burst % nrouters) << dest_lo
+        net.in_[1].val.value = burst % 2
+        net.in_[1].msg.value = ((nrouters - 1 - burst) % nrouters) \
+            << dest_lo
+        sim.run(chunk)
+
+    window = rec.window()
+    print(f"recorded window: {window!r}")
+    print(render_window(window, last_n=24))
+    vcd_path = os.path.join(OUT_DIR, "mesh_tail.vcd")
+    window.to_vcd(vcd_path)
+    print(f"window VCD -> {vcd_path}\n")
+    return window
+
+
+def link_watchpoints():
+    """Watchpoints + forensics on a fault-injected ResilientLink."""
+    print("=== watchpoints: ResilientLink under LinkFaultInjector ===")
+    link = ResilientLink(payload_nbits=16, level="rtl").elaborate()
+    sim = SimulationTool(link)
+    LinkFaultInjector("fwd", drop=0.35, stall=0.15, seed=7).install(sim)
+
+    sim.flight_recorder(
+        signals=["sender.ctr_retries", "receiver.ctr_delivered",
+                 "fwd.f_drop", "out.val"],
+        depth=48, autodump=OUT_DIR)
+
+    retries = sim.watch(changed("sender.ctr_retries"), name="retry")
+    sim.watch(stable_for("receiver.ctr_delivered", 40),
+              name="no-progress")
+    # Deliberate stop: halt once the link has retried five times, and
+    # dump the recorder window on the way out.
+    sim.watch(_retries_at_least(5), name="five-retries",
+              halt=True, dump=OUT_DIR)
+
+    sim.reset()
+    link.out.rdy.value = 1
+    payloads = iter(range(1, 200))
+    cur = next(payloads)
+    try:
+        for _ in range(4000):
+            link.in_.val.value = 1
+            link.in_.msg.value = cur
+            sim.eval_combinational()
+            if int(link.in_.rdy):
+                cur = next(payloads)
+            sim.cycle()
+    except WatchpointHit as hit:
+        print(f"halted: {hit}")
+        print("diagnostic:",
+              json.dumps(hit.diagnostic, indent=2, default=str))
+    print(f"retry watchpoint fired {retries.n_fires}x "
+          f"at cycles {retries.fire_cycles()[:8]}")
+    assert retries.fired, "fault injection should force retries"
+    return _find_bundle()
+
+
+def _retries_at_least(n):
+    from repro.observe import when
+    return when(lambda r: r >= n, "sender.ctr_retries")
+
+
+def _find_bundle():
+    bundles = sorted(
+        os.path.join(OUT_DIR, f) for f in os.listdir(OUT_DIR)
+        if f.startswith("watchpoint_") and f.endswith(".json"))
+    return bundles[-1] if bundles else None
+
+
+def forensics(bundle_path):
+    print("\n=== forensics: the dumped repro-observe-v1 bundle ===")
+    manifest = load_bundle(bundle_path)
+    print(f"bundle: {bundle_path}")
+    print(f"schema: {manifest['schema']}  reason: {manifest['reason']}")
+    sys.stdout.write(render(manifest, last_n=16))
+
+
+def main():
+    nrouters = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    ncycles = int(sys.argv[2]) if len(sys.argv) > 2 else 2000
+    os.makedirs(OUT_DIR, exist_ok=True)
+
+    window = mesh_flight_recorder(nrouters, ncycles)
+    assert window.ncycles == 64
+    assert any(ch for _, ch in window.changes), \
+        "recorded tail should contain signal activity"
+
+    bundle_path = link_watchpoints()
+    assert bundle_path is not None, "halting watchpoint should dump"
+    forensics(bundle_path)
+
+
+if __name__ == "__main__":
+    main()

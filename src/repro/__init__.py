@@ -84,6 +84,21 @@ from .telemetry import (
     set_enabled as set_telemetry_enabled,
     enabled as telemetry_enabled,
 )
+from .observe import (
+    FlightRecorder,
+    RecorderWindow,
+    Watchpoint,
+    WatchpointHit,
+    rose,
+    fell,
+    changed,
+    value_is,
+    when,
+    stable_for,
+    implies_within,
+    export_bundle,
+    load_bundle,
+)
 
 __version__ = "0.1.0"
 
@@ -104,5 +119,10 @@ __all__ = [
     "ResilienceWarning", "SEUInjector", "StuckAtFault",
     "LinkFaultInjector", "CheckpointRing",
     "Watchdog", "WatchdogTimeout", "specialize_or_fallback",
+    "FlightRecorder", "RecorderWindow",
+    "Watchpoint", "WatchpointHit",
+    "rose", "fell", "changed", "value_is", "when",
+    "stable_for", "implies_within",
+    "export_bundle", "load_bundle",
     "__version__",
 ]

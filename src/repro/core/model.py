@@ -92,6 +92,7 @@ class Model:
         self._elaborated = False
         self._telemetry_counters = {}
         self._telemetry_histograms = {}
+        self._observed_signals = []
         self.name = None
         self.parent = None
         # Implicit signals every model has (used by RTL reset logic and
@@ -156,6 +157,23 @@ class Model:
         ctr = Counter(name, desc=desc, owner=self, sig=sig, state=state)
         self._telemetry_counters[name] = ctr
         return ctr
+
+    def observe(self, *signals):
+        """Mark signals of this model as flight-recorder-worthy.
+
+        Called in the constructor (the DSEL idiom, like
+        :meth:`counter`)::
+
+            s.state = Wire(3)
+            s.observe(s.state, s.req_addr)
+
+        A :class:`~repro.observe.recorder.FlightRecorder` armed with
+        ``signals=None`` records every registration collected across
+        the hierarchy.  Accepts Signal/slice objects; registration is
+        free until a recorder is armed.  Returns the signals (single
+        object if one was passed) for inline use."""
+        self._observed_signals.extend(signals)
+        return signals[0] if len(signals) == 1 else signals
 
     def histogram(self, name, desc=""):
         """Declare a named histogram (``.observe(value)`` from tick

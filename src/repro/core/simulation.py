@@ -67,7 +67,7 @@ class SimulationTool:
 
     def __init__(self, model, line_trace=False, vcd=None,
                  collect_stats=False, sched="auto", trace_depth=0,
-                 profile=False):
+                 profile=False, line_trace_sink=None):
         if sched not in ("auto", "static", "event"):
             raise ValueError(
                 f"sched must be 'auto', 'static', or 'event'; got {sched!r}"
@@ -83,6 +83,24 @@ class SimulationTool:
         # current cycle number after the pre-edge settle, i.e. seeing
         # exactly the values the coming clock edge will latch.
         self._cycle_hooks = []
+        # Waveform-observatory attachments (repro.observe): flight
+        # recorders and watchpoints sample *after* the post-edge
+        # settle, like the VCD writer, so — unlike cycle hooks — they
+        # keep the compiled mega-cycle kernel running.
+        self._recorders = []
+        self._watchpoints = []
+        self._observers = ()
+        # Optional line-trace sink: a callable taking the formatted
+        # trace line, or a file path.  Setting a sink turns tracing on.
+        self._trace_sink_file = None
+        self._trace_sink = None
+        if line_trace_sink is not None:
+            self._line_trace_on = True
+            if callable(line_trace_sink):
+                self._trace_sink = line_trace_sink
+            else:
+                self._trace_sink_file = open(line_trace_sink, "w")
+                self._trace_sink = self._write_trace_line
         if profile:
             from ..telemetry.profile import SimProfiler
             self.profiler = SimProfiler()
@@ -468,6 +486,18 @@ class SimulationTool:
 
     def cycle(self):
         """Advance simulated time by one clock cycle."""
+        try:
+            self._cycle_body()
+        except Exception as exc:
+            # Post-mortem forensics: export the armed flight-recorder
+            # windows (if any opted into autodump) before the error
+            # propagates.  crash_bundle never raises and marks the
+            # exception so nested run() frames don't dump twice.
+            from ..observe.forensics import crash_bundle
+            crash_bundle(self, exc, context="cycle")
+            raise
+
+    def _cycle_body(self):
         kernel = self._kernel
         hooks = self._cycle_hooks
         if kernel is not None and not hooks:
@@ -517,6 +547,14 @@ class SimulationTool:
             self.trace_log.append((self.ncycles, trace))
         if self._line_trace_on:
             self.print_line_trace()
+        observers = self._observers
+        if observers:
+            # Post-edge sampling point shared by recorders and
+            # watchpoints on every substrate; a halting watchpoint
+            # raises from here, after this cycle fully completed.
+            ncycles = self.ncycles
+            for observer in observers:
+                observer(ncycles)
 
     def _cycle_profiled(self, hooks):
         """Interpreted cycle with per-phase host-time attribution.
@@ -557,9 +595,29 @@ class SimulationTool:
         if (kernel is not None and self._vcd is None
                 and not self._line_trace_on and self.trace_log is None
                 and not self._cycle_hooks):
-            for _ in range(ncycles):
-                kernel()
-            self.ncycles += ncycles
+            observers = self._observers
+            if not observers:
+                for _ in range(ncycles):
+                    kernel()
+                self.ncycles += ncycles
+                return
+            # Armed-observer kernel loop: same per-cycle semantics as
+            # cycle() (kernel, then post-edge sampling), minus its
+            # dispatch overhead — recorders are meant to stay armed on
+            # long runs, so the sampling loop is a hot path.
+            cycle = self.ncycles
+            try:
+                for _ in range(ncycles):
+                    kernel()
+                    cycle += 1
+                    self.ncycles = cycle
+                    for observer in observers:
+                        observer(cycle)
+                    observers = self._observers
+            except Exception as exc:
+                from ..observe.forensics import crash_bundle
+                crash_bundle(self, exc, context="cycle")
+                raise
             return
         for _ in range(ncycles):
             self.cycle()
@@ -634,6 +692,40 @@ class SimulationTool:
         self._cycle_hooks.append(hook)
         return hook
 
+    def flight_recorder(self, signals=None, depth=256, autodump=None):
+        """Arm a :class:`~repro.observe.recorder.FlightRecorder` on
+        this simulator and return it.
+
+        ``signals`` is a list of dotted paths and/or Signal objects
+        (``None`` records the design's ``s.observe(...)``
+        registrations); ``depth`` bounds the window; ``autodump``
+        names a directory for automatic crash bundles.  Unlike cycle
+        hooks, recorders sample post-edge like the VCD writer, so the
+        compiled mega-cycle kernel keeps running."""
+        from ..observe.recorder import FlightRecorder
+        return FlightRecorder(signals, depth, autodump).attach(self)
+
+    def watch(self, condition, name=None, callback=None, halt=False,
+              dump=None, once=False):
+        """Arm a temporal watchpoint; see :mod:`repro.observe`.
+
+        ``condition`` is built from the combinators (``rose``,
+        ``fell``, ``stable_for``, ``implies_within``, ...).  A firing
+        watchpoint always logs to ``wp.fires``; it can additionally
+        ``callback(wp, cycle)``, ``dump`` a forensics bundle to a
+        directory, or ``halt`` the run by raising
+        :class:`~repro.observe.watchpoints.WatchpointHit`."""
+        from ..observe.watchpoints import Watchpoint
+        return Watchpoint(condition, name=name, callback=callback,
+                          halt=halt, dump=dump, once=once).attach(self)
+
+    def _refresh_observers(self):
+        """Rebuild the flat per-cycle sampling tuple (recorders first,
+        then watchpoints, in attach order)."""
+        self._observers = tuple(
+            [rec.sample for rec in self._recorders]
+            + [wp.sample for wp in self._watchpoints])
+
     def sched_info(self):
         """Scheduling provenance: requested vs chosen mode, the
         static/event partition, tick gating, and whether (and why not)
@@ -659,12 +751,15 @@ class SimulationTool:
         return info
 
     def close(self):
-        """Finalize attached sinks (VCD, telemetry).  Idempotent."""
+        """Finalize attached sinks (VCD, telemetry, line-trace file).
+        Idempotent."""
         if self._closed:
             return
         self._closed = True
         if self._vcd is not None:
             self._vcd.close()
+        if self._trace_sink_file is not None:
+            self._trace_sink_file.close()
         self.telemetry.close()
 
     def __enter__(self):
@@ -689,8 +784,16 @@ class SimulationTool:
 
     def print_line_trace(self):
         trace = self.model.line_trace()
-        if trace:
-            print(f"{self.ncycles:4}: {trace}")
+        if not trace:
+            return
+        line = f"{self.ncycles:4}: {trace}"
+        if self._trace_sink is not None:
+            self._trace_sink(line)
+        else:
+            print(line)
+
+    def _write_trace_line(self, line):
+        self._trace_sink_file.write(line + "\n")
 
 
 def _nets_of(ends):

@@ -1,0 +1,56 @@
+"""Waveform observatory: signal-level observability for every substrate.
+
+Three pillars, all behaving identically in event, static,
+mega-cycle-kernel, and SimJIT execution:
+
+- :mod:`.recorder` — an always-on-capable **flight recorder**: a
+  bounded ring buffer of change-compressed signal values
+  (``sim.flight_recorder(signals=..., depth=N)``), cheap enough to
+  leave armed on long runs;
+- :mod:`.watchpoints` — **temporal watchpoints**: ``rose``/``fell``/
+  ``stable_for``/``implies_within``/predicate combinators armed with
+  ``sim.watch(cond, ...)`` that log, call back, dump a window, or
+  halt with a structured diagnostic;
+- :mod:`.forensics` — **post-mortem bundles** (schema
+  ``repro-observe-v1``): on co-sim divergence, Watchdog trip, or an
+  unhandled exception in ``cycle()``, the recorder windows are
+  exported as VCD + JSON, renderable with
+  ``python -m repro.observe.dump``.
+
+PR-3's telemetry answers "how much / how often" in aggregate; the
+observatory answers "what exactly did these signals do in the last N
+cycles" — the signal-level half of the paper's Section III-B
+observability story, without whole-run VCD cost.
+"""
+
+from .recorder import FlightRecorder, RecorderWindow
+from .watchpoints import (
+    Watchpoint,
+    WatchpointHit,
+    rose,
+    fell,
+    changed,
+    value_is,
+    when,
+    stable_for,
+    implies_within,
+)
+from .forensics import SCHEMA, export_bundle, crash_bundle, load_bundle
+
+__all__ = [
+    "FlightRecorder",
+    "RecorderWindow",
+    "Watchpoint",
+    "WatchpointHit",
+    "rose",
+    "fell",
+    "changed",
+    "value_is",
+    "when",
+    "stable_for",
+    "implies_within",
+    "SCHEMA",
+    "export_bundle",
+    "crash_bundle",
+    "load_bundle",
+]

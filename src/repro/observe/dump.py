@@ -1,0 +1,128 @@
+"""ASCII renderer + CLI for ``repro-observe-v1`` forensics bundles.
+
+Usage::
+
+    python -m repro.observe.dump observe_out/crash.json
+    python -m repro.observe.dump --last-n 40 bundle.json
+
+Prints the bundle summary (design, failure reason, cycle, armed
+watchpoints) and an ASCII waveform of each recorded window: 1-bit
+signals as ``__/~~\\__`` traces, multibit signals as hex values with
+``.`` marking unchanged cycles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .forensics import load_bundle
+
+__all__ = ["render", "render_window", "main"]
+
+
+def render_window(window, last_n=None, width=72):
+    """ASCII waveform of one :class:`RecorderWindow` as a string."""
+    rows = list(window.rows())
+    if last_n is not None:
+        rows = rows[-last_n:]
+    if not rows:
+        return "  (empty window)\n"
+    label_w = max((len(n) for n in window.names), default=0)
+    label_w = min(label_w, 32)
+    ncols = max(1, (width - label_w - 3))
+    out = []
+
+    # Column header: first/last cycle of the shown span.
+    first_c, last_c = rows[0][0], rows[-1][0]
+    out.append(f"  {'cycle':<{label_w}} | "
+               f"{first_c} .. {last_c} ({len(rows)} cycles)")
+
+    for i, (name, nbits) in enumerate(zip(window.names, window.widths)):
+        label = name if len(name) <= label_w else "…" + name[-(label_w - 1):]
+        if nbits == 1:
+            cells = []
+            prev = None
+            for _, values in rows[:ncols]:
+                v = values[i]
+                if prev is not None and v != prev:
+                    cells.append("/" if v else "\\")
+                else:
+                    cells.append("~" if v else "_")
+                prev = v
+            line = "".join(cells)
+        else:
+            digits = max(1, (nbits + 3) // 4)
+            cells = []
+            prev = None
+            for _, values in rows:
+                v = values[i]
+                if prev is not None and v == prev:
+                    cells.append("." * digits)
+                else:
+                    cells.append(f"{v:0{digits}x}")
+                prev = v
+            line = " ".join(cells)
+            if len(line) > ncols:
+                line = line[:ncols - 1] + "…"
+        out.append(f"  {label:<{label_w}} | {line}")
+    return "\n".join(out) + "\n"
+
+
+def render(manifest, last_n=None, width=72):
+    """Full text report of a loaded bundle (see :func:`load_bundle`)."""
+    out = []
+    out.append(f"repro-observe bundle: {manifest.get('design')} — "
+               f"{manifest.get('reason')} at cycle "
+               f"{manifest.get('cycle')}")
+    if manifest.get("error"):
+        out.append(f"error: {manifest['error']}")
+    sched = manifest.get("sched") or {}
+    if sched:
+        out.append(f"schedule: mode={sched.get('mode')} "
+                   f"kernel={sched.get('kernel')}")
+    for wp in manifest.get("watchpoints", ()):
+        status = (f"fired x{wp.get('n_fires')} "
+                  f"(last at cycle {wp.get('cycle')})"
+                  if wp.get("n_fires") else "never fired")
+        out.append(f"watchpoint {wp.get('name')!r}: "
+                   f"{wp.get('condition')} — {status}")
+    for i, entry in enumerate(manifest.get("windows", ())):
+        out.append("")
+        out.append(f"window {i}: {len(entry['signals'])} signals, "
+                   f"{entry['recorded_cycles']} recorded cycles"
+                   + (f" -> {entry['vcd']}" if entry.get("vcd") else ""))
+        out.append(render_window(entry["window"], last_n=last_n,
+                                 width=width).rstrip("\n"))
+    traces = manifest.get("recent_traces")
+    if traces:
+        out.append("")
+        out.append("recent line traces:")
+        for item in traces[-8:]:
+            out.append(f"  #{item['cycle']}: {item['trace']}")
+    return "\n".join(out) + "\n"
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.observe.dump",
+        description="Render a repro-observe-v1 forensics bundle as an "
+                    "ASCII waveform + summary.")
+    parser.add_argument("bundle", help="path to the <tag>.json manifest")
+    parser.add_argument("--last-n", type=int, default=None,
+                        help="show only the last N recorded cycles")
+    parser.add_argument("--width", type=int, default=72,
+                        help="target line width (default 72)")
+    args = parser.parse_args(argv)
+    try:
+        manifest = load_bundle(args.bundle)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    sys.stdout.write(render(manifest, last_n=args.last_n,
+                            width=args.width))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

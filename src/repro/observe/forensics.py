@@ -1,0 +1,182 @@
+"""Post-mortem forensics: ``repro-observe-v1`` failure bundles.
+
+The third observatory pillar: when a simulation fails — a verif co-sim
+divergence, a :class:`~repro.resilience.guard.Watchdog` trip, an
+unhandled exception inside ``cycle()``, or a halting watchpoint — the
+armed flight recorders' windows are exported automatically as a JSON
+manifest plus one standard VCD per recorder, so the last ``depth``
+cycles of signal history are inspectable after the process is gone.
+
+Bundle layout (all under one directory)::
+
+    <tag>.json          # manifest, schema "repro-observe-v1"
+    <tag>.vcd           # window of the first recorder
+    <tag>.rec1.vcd      # further recorders, if any
+
+The manifest embeds each window verbatim (``RecorderWindow.to_dict``),
+so the JSON alone round-trips; the VCDs are a convenience for wave
+viewers.  ``python -m repro.observe.dump <tag>.json`` renders an ASCII
+waveform of a bundle.
+
+Export destinations resolve in precedence order: explicit argument,
+the ``REPRO_OBSERVE_DIR`` environment variable, then ``observe_out``
+(crash auto-dump additionally requires the recorder to opt in via
+``autodump=`` or the environment variable — an armed recorder alone
+never writes files behind the user's back).
+
+Every export path is exception-guarded: forensics must never mask the
+original failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+SCHEMA = "repro-observe-v1"
+
+__all__ = ["SCHEMA", "export_bundle", "crash_bundle", "load_bundle"]
+
+
+def _resolve_dir(out_dir):
+    return out_dir or os.environ.get("REPRO_OBSERVE_DIR") or "observe_out"
+
+
+def _unique_tag(out_dir, tag):
+    """Avoid silently overwriting an earlier bundle with the same tag."""
+    candidate, n = tag, 1
+    while os.path.exists(os.path.join(out_dir, candidate + ".json")):
+        candidate = f"{tag}.{n}"
+        n += 1
+    return candidate
+
+
+def _safe_tag(tag):
+    return "".join(ch if ch.isalnum() or ch in "._-" else "_"
+                   for ch in tag)
+
+
+def export_bundle(sim, out_dir=None, reason="manual", tag=None,
+                  extra=None):
+    """Export the armed recorders of ``sim`` as a forensics bundle.
+
+    Returns the manifest path, or ``None`` when ``sim`` has no armed
+    recorder (there is no signal history to dump — watchpoint
+    diagnostics alone still travel in the exception that triggered
+    the export).
+    """
+    recorders = list(getattr(sim, "_recorders", ()))
+    if not recorders:
+        return None
+    out_dir = _resolve_dir(out_dir)
+    os.makedirs(out_dir, exist_ok=True)
+    if tag is None:
+        tag = f"observe_{reason}_c{sim.ncycles}"
+    tag = _unique_tag(out_dir, _safe_tag(tag))
+
+    windows = []
+    for i, rec in enumerate(recorders):
+        window = rec.window()
+        vcd_name = f"{tag}.vcd" if i == 0 else f"{tag}.rec{i}.vcd"
+        vcd_err = None
+        try:
+            window.to_vcd(os.path.join(out_dir, vcd_name))
+        except Exception as exc:          # keep the JSON side alive
+            vcd_name, vcd_err = None, f"{type(exc).__name__}: {exc}"
+        entry = {
+            "signals": window.names,
+            "depth": rec.depth,
+            "recorded_cycles": window.ncycles,
+            "vcd": vcd_name,
+            "window": window.to_dict(),
+        }
+        if vcd_err:
+            entry["vcd_error"] = vcd_err
+        windows.append(entry)
+
+    manifest = {
+        "schema": SCHEMA,
+        "design": type(sim.model).__name__,
+        "reason": reason,
+        "cycle": sim.ncycles,
+        "num_events": getattr(sim, "num_events", None),
+        "sched": _try(sim.sched_info),
+        "windows": windows,
+        "watchpoints": [wp.diagnostic()
+                        for wp in getattr(sim, "_watchpoints", ())],
+    }
+    trace_log = getattr(sim, "trace_log", None)
+    if trace_log:
+        manifest["recent_traces"] = [
+            {"cycle": c, "trace": t} for c, t in trace_log]
+    if extra:
+        manifest.update(extra)
+
+    path = os.path.join(out_dir, tag + ".json")
+    with open(path, "w") as f:
+        json.dump(manifest, f, indent=2, default=str)
+    return path
+
+
+def crash_bundle(sim, exc, context="cycle"):
+    """Auto-export on an unhandled failure, if any recorder opted in.
+
+    Called from ``SimulationTool.cycle()``'s exception path, from the
+    Watchdog, and from co-sim divergence reporting.  Only recorders
+    armed with ``autodump=<dir>`` (or, with ``REPRO_OBSERVE_DIR`` set,
+    any armed recorder) trigger a dump.  Exceptions the observatory
+    itself raised deliberately (marked ``_observe_handled``) and
+    exports that themselves fail are both ignored — the original error
+    always propagates untouched.
+    """
+    if getattr(exc, "_observe_handled", False):
+        return None
+    try:
+        out_dir = None
+        for rec in getattr(sim, "_recorders", ()):
+            if rec.autodump:
+                out_dir = rec.autodump
+                break
+        if out_dir is None and not os.environ.get("REPRO_OBSERVE_DIR"):
+            return None
+        path = export_bundle(
+            sim, out_dir,
+            reason=f"crash:{context}",
+            extra={"error": f"{type(exc).__name__}: {exc}"})
+        if path is not None:
+            # One dump per failure: re-raises through nested run()
+            # frames must not produce duplicate bundles.
+            try:
+                exc._observe_handled = True
+                exc._observe_bundle = path
+            except Exception:
+                pass
+        return path
+    except Exception:
+        return None
+
+
+def load_bundle(path):
+    """Load a manifest written by :func:`export_bundle`.
+
+    Returns the manifest dict with each window entry's ``"window"``
+    dict replaced by a live
+    :class:`~repro.observe.recorder.RecorderWindow`.
+    """
+    from .recorder import RecorderWindow
+    with open(path) as f:
+        manifest = json.load(f)
+    if manifest.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: schema {manifest.get('schema')!r} is not "
+            f"{SCHEMA!r}")
+    for entry in manifest.get("windows", ()):
+        entry["window"] = RecorderWindow.from_dict(entry["window"])
+    return manifest
+
+
+def _try(fn):
+    try:
+        return fn()
+    except Exception:
+        return None

@@ -1,0 +1,361 @@
+"""Flight recorder: a bounded, change-compressed signal history.
+
+The recorder is the observatory's always-on-capable pillar (the other
+two are :mod:`.watchpoints` and :mod:`.forensics`): a ring buffer of
+the last ``depth`` cycles of a chosen signal set, cheap enough to leave
+armed on long runs, so that when a simulation misbehaves there is a
+signal-level window to inspect — without paying for full VCD tracing
+from cycle 0.
+
+Arming is one call on a running simulator::
+
+    rec = sim.flight_recorder(
+        signals=["routers[0].hold_val[0]", net.out[0].val], depth=256)
+    sim.run(100_000)
+    rec.window().to_vcd("tail.vcd")
+
+Signals are named by dotted path from the top model (the
+:func:`repro.resilience.inject.resolve_path` grammar, so the same
+string works before and after SimJIT specialization) or passed as
+``Signal``/slice objects.  Models can also pre-register interesting
+signals in their constructors with ``s.observe(...)``; a recorder armed
+with ``signals=None`` picks those up hierarchically.
+
+Substrate portability: sampling happens at one architectural point —
+after the clock edge and the post-edge settle, once per ``cycle()`` —
+on every substrate (event, static, mega-cycle kernel, SimJIT).  Python
+nets are read directly; signals that live only inside a compiled
+SimJIT instance are read through the engine's ``raw_get``/
+``get_state_at`` probes, so the recorded window is bit-identical across
+all four execution modes.  Unlike cycle hooks, recorders do *not*
+force the interpreted path: the compiled mega-cycle kernel keeps
+running, and only the post-cycle sample is added.
+
+Storage is change-compressed: per cycle the recorder stores only the
+``(signal_index, new_value)`` pairs that differ from the previous
+sample, plus one rolling base snapshot that evicted entries are folded
+into — reconstruction of any in-window cycle is exact.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from ..core.signals import Signal, _SignalSlice
+
+__all__ = ["FlightRecorder", "RecorderWindow", "resolve_reader"]
+
+
+class _Tap:
+    """One recorded signal: a stable name, a width, and a bound
+    zero-argument read function returning the current int value."""
+
+    __slots__ = ("name", "nbits", "read")
+
+    def __init__(self, name, nbits, read):
+        self.name = name
+        self.nbits = nbits
+        self.read = read
+
+
+def _engines_of(model):
+    """Every SimJIT engine reachable in a (possibly specialized)
+    hierarchy, outermost first."""
+    engines = []
+    eng = getattr(model, "jit_engine", None)
+    if eng is not None:
+        engines.append(eng)
+    for sub in getattr(model, "_all_models", ()):
+        eng = getattr(sub, "jit_engine", None)
+        if eng is not None and eng not in engines:
+            engines.append(eng)
+    return engines
+
+
+def resolve_reader(sim, spec):
+    """Resolve a signal spec to a :class:`_Tap` bound to ``sim``.
+
+    ``spec`` is a dotted-path string, a ``Signal``, or a signal slice.
+    Paths resolve through JITModel wrappers (the injector grammar) and
+    may also name a telemetry :class:`~repro.telemetry.counters.Counter`
+    (any backing kind); signal objects whose net is not owned by
+    ``sim`` — internal state of a specialized model — are read through
+    the owning engine's ``raw_get`` probe instead of the (stale)
+    Python net.
+    """
+    if isinstance(spec, str):
+        from ..resilience.inject import _SignalTarget, resolve_path
+        from ..telemetry.counters import Counter
+        try:
+            _, _, resolved, _, _ = resolve_path(sim.model, spec)
+        except Exception:
+            resolved = None
+        if isinstance(resolved, Counter):
+            # Telemetry counters are first-class observables: the
+            # Counter.value property already bridges python-, signal-,
+            # and compiled-state-backed kinds.
+            return _Tap(spec, 32, lambda c=resolved: int(c.value))
+        target = _SignalTarget(sim, spec)
+        # Specialize the per-cycle read: _SignalTarget.read() re-checks
+        # its domain branches and builds a Bits value on every call,
+        # which is most of the sampling cost at recorder rates.
+        if target.engine is not None and target.state_idx is None:
+            read = (lambda e=target.engine, s=target.slot:
+                    e.raw_get(s))
+        elif target.engine is None and target.sig is not None:
+            net = target.sig._net.find()
+            read = lambda n=net: n._value
+        else:
+            read = target.read
+        return _Tap(spec, target.nbits, read)
+    if isinstance(spec, _SignalSlice):
+        name = f"{spec.signal.name or '?'}[{spec.lo}:{spec.hi}]"
+        return _Tap(name, spec.nbits,
+                    lambda sl=spec: int(sl.value))
+    if isinstance(spec, Signal):
+        net = spec._net.find()
+        name = spec.name or repr(spec)
+        if net.sim is sim:
+            return _Tap(name, spec.nbits, lambda n=net: n._value)
+        # Net not driven by this simulator: the signal lives inside a
+        # compiled SimJIT instance — find the engine that lowered it.
+        for engine in _engines_of(sim.model):
+            try:
+                slot = engine.slot_of(spec)
+            except KeyError:
+                continue
+            return _Tap(name, spec.nbits,
+                        lambda e=engine, s=slot: e.raw_get(s))
+        raise ValueError(
+            f"signal {name!r} is not simulated by this SimulationTool "
+            f"(and no SimJIT engine lowered it); pass a dotted path or "
+            f"a signal of the simulated model")
+    raise TypeError(
+        f"cannot observe {type(spec).__name__}; pass a dotted path "
+        f"string, a Signal, or a signal slice")
+
+
+def _observed_specs(model):
+    """Hierarchically collect ``s.observe(...)`` registrations."""
+    specs = []
+    for sub in getattr(model, "_all_models", [model]):
+        specs.extend(getattr(sub, "_observed_signals", ()))
+    return specs
+
+
+class FlightRecorder:
+    """Bounded ring buffer of change-compressed signal values.
+
+    ``signals`` is a list of specs (see :func:`resolve_reader`); with
+    ``None``, the signals registered via ``Model.observe`` across the
+    hierarchy are recorded.  ``depth`` bounds the window in cycles.
+    ``autodump`` names a directory for automatic post-mortem bundles
+    when an exception escapes ``cycle()`` (``None`` defers to the
+    ``REPRO_OBSERVE_DIR`` environment variable; see
+    :mod:`repro.observe.forensics`).
+    """
+
+    def __init__(self, signals=None, depth=256, autodump=None):
+        depth = int(depth)
+        if depth <= 0:
+            raise ValueError(f"depth must be positive; got {depth}")
+        self.depth = depth
+        self.autodump = autodump
+        self._specs = signals
+        self.sim = None
+        self._taps = []
+        self._reads = []
+        self._last = []
+        self._entries = deque()
+        self._base_cycle = 0
+        self._base_values = []
+        self.nsamples = 0
+
+    def attach(self, sim):
+        """Bind to ``sim`` and start sampling (returns self)."""
+        if self.sim is not None:
+            raise RuntimeError("recorder is already attached")
+        specs = self._specs
+        if specs is None:
+            specs = _observed_specs(sim.model)
+        if isinstance(specs, (str, Signal, _SignalSlice)):
+            specs = [specs]
+        if not specs:
+            raise ValueError(
+                "nothing to record: pass signals= or register signals "
+                "with Model.observe(...) in the design")
+        self.sim = sim
+        self._taps = [resolve_reader(sim, spec) for spec in specs]
+        self._reads = [tap.read for tap in self._taps]
+        # Base snapshot: the state as of the current cycle count, the
+        # cycle *before* the first recorded entry.
+        self._base_cycle = sim.ncycles
+        self._base_values = [read() for read in self._reads]
+        self._last = list(self._base_values)
+        self._entries.clear()
+        sim._recorders.append(self)
+        sim._refresh_observers()
+        return self
+
+    def detach(self):
+        """Stop sampling; the recorded window stays readable."""
+        sim = self.sim
+        if sim is None:
+            return
+        if self in sim._recorders:
+            sim._recorders.remove(self)
+            sim._refresh_observers()
+        self.sim = None
+
+    @property
+    def signal_names(self):
+        return [tap.name for tap in self._taps]
+
+    # -- hot path ---------------------------------------------------------
+
+    def sample(self, cycle):
+        """Record the post-cycle values (called by the simulator)."""
+        last = self._last
+        changes = ()
+        for i, read in enumerate(self._reads):
+            value = read()
+            if value != last[i]:
+                last[i] = value
+                if changes:
+                    changes.append((i, value))
+                else:
+                    changes = [(i, value)]
+        entries = self._entries
+        entries.append((cycle, changes))
+        self.nsamples += 1
+        if len(entries) > self.depth:
+            # Fold the evicted cycle into the rolling base snapshot so
+            # the oldest retained cycle stays exactly reconstructible.
+            old_cycle, old_changes = entries.popleft()
+            base = self._base_values
+            for i, value in old_changes:
+                base[i] = value
+            self._base_cycle = old_cycle
+
+    # -- window extraction ------------------------------------------------
+
+    def window(self):
+        """Immutable :class:`RecorderWindow` of the current contents."""
+        return RecorderWindow(
+            names=list(self.signal_names),
+            widths=[tap.nbits for tap in self._taps],
+            base_cycle=self._base_cycle,
+            base_values=list(self._base_values),
+            changes=[(c, list(ch)) for c, ch in self._entries],
+        )
+
+    def __repr__(self):
+        return (f"<FlightRecorder {len(self._taps)} signals "
+                f"depth={self.depth} recorded={len(self._entries)}>")
+
+
+class RecorderWindow:
+    """A reconstructed slice of recorded history.
+
+    ``base_cycle``/``base_values`` give the state just before the first
+    recorded cycle; ``changes`` is ``[(cycle, [(index, value), ...])]``
+    for every recorded cycle in order.  Serializes to the
+    ``repro-observe-v1`` window dict and to standard VCD.
+    """
+
+    def __init__(self, names, widths, base_cycle, base_values, changes):
+        self.names = names
+        self.widths = widths
+        self.base_cycle = base_cycle
+        self.base_values = base_values
+        self.changes = changes
+
+    @property
+    def ncycles(self):
+        return len(self.changes)
+
+    def cycles(self):
+        return [c for c, _ in self.changes]
+
+    def rows(self):
+        """Yield ``(cycle, (v0, v1, ...))`` replaying the window."""
+        values = list(self.base_values)
+        for cycle, changes in self.changes:
+            for i, value in changes:
+                values[i] = value
+            yield cycle, tuple(values)
+
+    def values_at(self, cycle):
+        """Signal values after ``cycle``'s clock edge."""
+        for c, values in self.rows():
+            if c == cycle:
+                return values
+        raise KeyError(f"cycle {cycle} is not in the recorded window")
+
+    def to_dict(self):
+        return {
+            "names": list(self.names),
+            "widths": list(self.widths),
+            "base_cycle": self.base_cycle,
+            "base_values": list(self.base_values),
+            "changes": [[c, [[i, v] for i, v in ch]]
+                        for c, ch in self.changes],
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            names=list(data["names"]),
+            widths=list(data["widths"]),
+            base_cycle=data["base_cycle"],
+            base_values=list(data["base_values"]),
+            changes=[(c, [(i, v) for i, v in ch])
+                     for c, ch in data["changes"]],
+        )
+
+    def to_vcd(self, path):
+        """Write the window as a standard VCD file (GTKWave-viewable).
+
+        The dump starts at ``#base_cycle`` with the base snapshot;
+        cycles with no value changes emit no timestep (the same
+        compression the live :class:`~repro.tools.vcd.VCDWriter`
+        applies).
+        """
+        from ..tools.vcd import vcd_id_codes, vcd_value_line
+        codes = []
+        gen = vcd_id_codes()
+        with open(path, "w") as out:
+            out.write("$timescale 1ns $end\n")
+            out.write("$scope module observe $end\n")
+            for name, nbits in zip(self.names, self.widths):
+                code = next(gen)
+                codes.append(code)
+                safe = (name.replace(".", "__").replace("[", "_")
+                        .replace("]", "").replace(":", "_"))
+                out.write(f"$var wire {nbits} {code} {safe} $end\n")
+            out.write("$upscope $end\n")
+            out.write("$enddefinitions $end\n")
+            out.write(f"#{self.base_cycle}\n")
+            out.write("$dumpvars\n")
+            for value, nbits, code in zip(
+                    self.base_values, self.widths, codes):
+                out.write(vcd_value_line(value, nbits, code))
+            out.write("$end\n")
+            for cycle, changes in self.changes:
+                if not changes:
+                    continue
+                out.write(f"#{cycle}\n")
+                for i, value in changes:
+                    out.write(vcd_value_line(
+                        value, self.widths[i], codes[i]))
+        return path
+
+    def __eq__(self, other):
+        if not isinstance(other, RecorderWindow):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
+    def __repr__(self):
+        span = (f"cycles {self.changes[0][0]}..{self.changes[-1][0]}"
+                if self.changes else "empty")
+        return (f"<RecorderWindow {len(self.names)} signals {span}>")

@@ -1,0 +1,478 @@
+"""Temporal watchpoints: trigger combinators evaluated per cycle.
+
+The second observatory pillar: small temporal conditions over signal
+values, checked once per cycle at the same post-edge sampling point as
+the flight recorder, on every substrate.  A watchpoint that fires can
+log, invoke a callback, dump the recorder window, or halt the
+simulation with a structured diagnostic — which makes the same
+machinery serve as lightweight online protocol assertions.
+
+Conditions are built *unbound* from signal specs (dotted paths or
+``Signal`` objects, the :func:`~repro.observe.recorder.resolve_reader`
+grammar) and bound to a simulator when the watchpoint is armed::
+
+    from repro.observe import rose, fell, stable_for, implies_within
+
+    wp = sim.watch(rose("chan.out_val") & value_is("chan.out_msg", 0),
+                   name="zero-payload", halt=True)
+    sim.watch(implies_within(rose("link.req_val"),
+                             rose("link.resp_val"), 64),
+              name="req-gets-resp", dump="observe_out")
+
+Combinators:
+
+- :func:`rose` / :func:`fell` — 0->nonzero / nonzero->0 edge this cycle
+- :func:`changed` — any value change this cycle
+- :func:`value_is` — current value equals (or is in) the given value(s)
+- :func:`when` — arbitrary predicate over one or more signal values
+- :func:`stable_for` — value has now been unchanged for exactly ``n``
+  consecutive cycles (re-arms after the next change)
+- :func:`implies_within` — antecedent fired but the consequent did NOT
+  follow within ``n`` cycles (fires *as the violation*, like an SVA
+  ``|-> ##[0:n]`` assertion failing)
+
+and the boolean algebra ``&``, ``|``, ``~`` over all of the above.
+Edge semantics compare against the value at the end of the previous
+cycle, so they are identical in event, static, mega-cycle-kernel, and
+SimJIT execution.
+"""
+
+from __future__ import annotations
+
+from .recorder import resolve_reader
+
+__all__ = [
+    "Condition",
+    "Watchpoint",
+    "WatchpointHit",
+    "rose",
+    "fell",
+    "changed",
+    "value_is",
+    "when",
+    "stable_for",
+    "implies_within",
+]
+
+
+class WatchpointHit(Exception):
+    """Raised (out of ``cycle()``) by a halting watchpoint.
+
+    Carries ``diagnostic``, a JSON-serializable dict with the
+    watchpoint name, firing cycle, condition description, and the
+    observed signal values at the moment of the hit."""
+
+    def __init__(self, message, diagnostic=None):
+        super().__init__(message)
+        self.diagnostic = diagnostic or {}
+
+
+# ---------------------------------------------------------------------------
+# Unbound condition specs
+
+
+class Condition:
+    """An unbound temporal condition; build with the combinators below
+    and compose with ``&``, ``|``, ``~``."""
+
+    def bind(self, sim):
+        """Return a bound evaluator with ``update(cycle) -> bool``."""
+        raise NotImplementedError
+
+    def describe(self):
+        raise NotImplementedError
+
+    def __and__(self, other):
+        return _BoolOp("and", self, other)
+
+    def __or__(self, other):
+        return _BoolOp("or", self, other)
+
+    def __invert__(self):
+        return _Not(self)
+
+    def __repr__(self):
+        return f"<Condition {self.describe()}>"
+
+
+class _BoolOp(Condition):
+    def __init__(self, op, left, right):
+        if not isinstance(left, Condition) or not isinstance(
+                right, Condition):
+            raise TypeError("conditions compose only with conditions")
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def bind(self, sim):
+        lhs, rhs = self.left.bind(sim), self.right.bind(sim)
+        if self.op == "and":
+            # Evaluate both unconditionally: stateful conditions (edge
+            # trackers, stability counters) must see every cycle.
+            return _Bound(lambda cycle: (lhs.update(cycle)
+                                         & rhs.update(cycle)))
+        return _Bound(lambda cycle: (lhs.update(cycle)
+                                     | rhs.update(cycle)))
+
+    def describe(self):
+        sym = "&" if self.op == "and" else "|"
+        return f"({self.left.describe()} {sym} {self.right.describe()})"
+
+
+class _Not(Condition):
+    def __init__(self, inner):
+        if not isinstance(inner, Condition):
+            raise TypeError("~ applies only to conditions")
+        self.inner = inner
+
+    def bind(self, sim):
+        bound = self.inner.bind(sim)
+        return _Bound(lambda cycle: not bound.update(cycle))
+
+    def describe(self):
+        return f"~{self.inner.describe()}"
+
+
+class _Bound:
+    """Adapter giving composed evaluators the bound interface."""
+
+    __slots__ = ("update",)
+
+    def __init__(self, update):
+        self.update = update
+
+
+def _spec_name(spec):
+    return spec if isinstance(spec, str) else (
+        getattr(spec, "name", None) or repr(spec))
+
+
+class _SignalCondition(Condition):
+    """Base for conditions over a single signal spec."""
+
+    def __init__(self, spec):
+        self.spec = spec
+
+    def bind(self, sim):
+        tap = resolve_reader(sim, self.spec)
+        return self._bound(tap)
+
+    def _bound(self, tap):
+        raise NotImplementedError
+
+
+class _Edge(_SignalCondition):
+    def __init__(self, spec, direction):
+        super().__init__(spec)
+        self.direction = direction      # "rose" | "fell" | "changed"
+
+    def _bound(self, tap):
+        read = tap.read
+        direction = self.direction
+        state = {"prev": read()}
+
+        def update(cycle):
+            prev = state["prev"]
+            value = read()
+            state["prev"] = value
+            if direction == "rose":
+                return prev == 0 and value != 0
+            if direction == "fell":
+                return prev != 0 and value == 0
+            return value != prev
+
+        return _Bound(update)
+
+    def describe(self):
+        return f"{self.direction}({_spec_name(self.spec)})"
+
+
+class _ValueIs(_SignalCondition):
+    def __init__(self, spec, values):
+        super().__init__(spec)
+        self.values = values
+
+    def _bound(self, tap):
+        read = tap.read
+        values = self.values
+        return _Bound(lambda cycle: read() in values)
+
+    def describe(self):
+        vals = sorted(self.values)
+        shown = vals[0] if len(vals) == 1 else vals
+        return f"value_is({_spec_name(self.spec)}, {shown})"
+
+
+class _When(Condition):
+    def __init__(self, fn, specs):
+        self.fn = fn
+        self.specs = specs
+
+    def bind(self, sim):
+        reads = [resolve_reader(sim, spec).read for spec in self.specs]
+        fn = self.fn
+        return _Bound(
+            lambda cycle: bool(fn(*[read() for read in reads])))
+
+    def describe(self):
+        name = getattr(self.fn, "__name__", "<fn>")
+        args = ", ".join(_spec_name(s) for s in self.specs)
+        return f"when({name}, {args})"
+
+
+class _StableFor(_SignalCondition):
+    def __init__(self, spec, n):
+        super().__init__(spec)
+        n = int(n)
+        if n < 1:
+            raise ValueError(f"stable_for needs n >= 1; got {n}")
+        self.n = n
+
+    def _bound(self, tap):
+        read = tap.read
+        n = self.n
+        state = {"prev": read(), "streak": 0}
+
+        def update(cycle):
+            value = read()
+            if value == state["prev"]:
+                state["streak"] += 1
+            else:
+                state["prev"] = value
+                state["streak"] = 0
+            # Fire exactly once per stable stretch, when it reaches n.
+            return state["streak"] == n
+
+        return _Bound(update)
+
+    def describe(self):
+        return f"stable_for({_spec_name(self.spec)}, {self.n})"
+
+
+class _ImpliesWithin(Condition):
+    def __init__(self, antecedent, consequent, n):
+        if not isinstance(antecedent, Condition) or not isinstance(
+                consequent, Condition):
+            raise TypeError(
+                "implies_within composes two conditions "
+                "(e.g. rose(a), rose(b))")
+        n = int(n)
+        if n < 1:
+            raise ValueError(f"implies_within needs n >= 1; got {n}")
+        self.antecedent = antecedent
+        self.consequent = consequent
+        self.n = n
+
+    def bind(self, sim):
+        ant = self.antecedent.bind(sim)
+        con = self.consequent.bind(sim)
+        n = self.n
+        pending = []                 # deadline cycles, oldest first
+
+        def update(cycle):
+            # Order matters: a consequent on the deadline cycle itself
+            # still satisfies the obligation (##[0:n] semantics).
+            if con.update(cycle) and pending:
+                pending.pop(0)
+            if ant.update(cycle):
+                pending.append(cycle + n)
+            if pending and cycle >= pending[0]:
+                pending.pop(0)
+                return True          # violation: deadline passed
+            return False
+
+        return _Bound(update)
+
+    def describe(self):
+        return (f"implies_within({self.antecedent.describe()}, "
+                f"{self.consequent.describe()}, {self.n})")
+
+
+# ---------------------------------------------------------------------------
+# Public combinator constructors
+
+
+def rose(spec):
+    """Fires on cycles where the signal went 0 -> nonzero."""
+    return _Edge(spec, "rose")
+
+
+def fell(spec):
+    """Fires on cycles where the signal went nonzero -> 0."""
+    return _Edge(spec, "fell")
+
+
+def changed(spec):
+    """Fires on cycles where the signal's value changed at all."""
+    return _Edge(spec, "changed")
+
+
+def value_is(spec, value, *more):
+    """Fires while the signal equals ``value`` (or any of ``more``)."""
+    return _ValueIs(spec, frozenset((int(value),)
+                                    + tuple(int(v) for v in more)))
+
+
+def when(fn, *specs):
+    """Fires when ``fn(*values)`` is truthy over the named signals."""
+    return _When(fn, specs)
+
+
+def stable_for(spec, n):
+    """Fires when the signal has held one value for ``n`` consecutive
+    cycles (once per stable stretch; re-arms on the next change)."""
+    return _StableFor(spec, n)
+
+
+def implies_within(antecedent, consequent, n):
+    """Fires as a *violation*: ``antecedent`` occurred but
+    ``consequent`` did not follow within the next ``n`` cycles
+    (``n >= 1``; a consequent on the deadline cycle still counts)."""
+    return _ImpliesWithin(antecedent, consequent, n)
+
+
+# ---------------------------------------------------------------------------
+# The armed watchpoint
+
+
+class Watchpoint:
+    """An armed condition plus its firing policy.
+
+    Built by ``sim.watch(cond, ...)``.  On each firing cycle the
+    watchpoint appends ``(cycle, values_snapshot)`` to :attr:`fires`,
+    then applies the configured actions:
+
+    - ``callback(watchpoint, cycle)`` — arbitrary user hook;
+    - ``dump`` — directory: export a ``repro-observe-v1`` bundle of
+      every armed recorder's current window;
+    - ``halt`` — raise :class:`WatchpointHit` out of ``cycle()`` with
+      a structured diagnostic (after callback and dump ran);
+    - ``once`` — disarm after the first fire.
+    """
+
+    _counter = 0
+
+    def __init__(self, condition, name=None, callback=None, halt=False,
+                 dump=None, once=False, log_limit=256):
+        if not isinstance(condition, Condition):
+            raise TypeError(
+                f"sim.watch() takes a Condition (rose/fell/...); "
+                f"got {type(condition).__name__}")
+        Watchpoint._counter += 1
+        self.condition = condition
+        self.name = name or f"wp{Watchpoint._counter}"
+        self.callback = callback
+        self.halt = halt
+        self.dump = dump
+        self.once = once
+        self.log_limit = log_limit
+        self.fires = []              # [(cycle, values_dict)]
+        self.n_fires = 0
+        self.sim = None
+        self._bound = None
+        self._taps = []
+
+    def attach(self, sim):
+        self.sim = sim
+        self._bound = self.condition.bind(sim)
+        self._taps = _condition_taps(sim, self.condition)
+        sim._watchpoints.append(self)
+        sim._refresh_observers()
+        return self
+
+    def detach(self):
+        sim = self.sim
+        if sim is None:
+            return
+        if self in sim._watchpoints:
+            sim._watchpoints.remove(self)
+            sim._refresh_observers()
+        self.sim = None
+
+    @property
+    def fired(self):
+        return self.n_fires > 0
+
+    def fire_cycles(self):
+        return [c for c, _ in self.fires]
+
+    def _snapshot(self):
+        return {tap.name: tap.read() for tap in self._taps}
+
+    # hot path — called once per cycle while armed
+    def sample(self, cycle):
+        if not self._bound.update(cycle):
+            return
+        self.n_fires += 1
+        sim = self.sim
+        values = self._snapshot()
+        if len(self.fires) < self.log_limit:
+            self.fires.append((cycle, values))
+        if self.once:
+            self.detach()
+        if self.callback is not None:
+            self.callback(self, cycle)
+        if self.dump is not None:
+            from .forensics import export_bundle
+            export_bundle(
+                sim, self.dump,
+                reason=f"watchpoint:{self.name}",
+                tag=f"watchpoint_{self.name}_c{cycle}",
+                extra={"watchpoint": self.diagnostic(cycle, values)})
+        if self.halt:
+            diag = self.diagnostic(cycle, values)
+            exc = WatchpointHit(
+                f"watchpoint {self.name!r} hit at cycle {cycle}: "
+                f"{self.condition.describe()}", diag)
+            # Crash forensics in cycle() must not double-dump: a
+            # halting watchpoint is a *deliberate* stop, and its own
+            # dump= already captured the window if asked for.
+            exc._observe_handled = True
+            raise exc
+
+    def diagnostic(self, cycle=None, values=None):
+        """JSON-serializable description of the (last) firing."""
+        if cycle is None and self.fires:
+            cycle, values = self.fires[-1]
+        return {
+            "name": self.name,
+            "condition": self.condition.describe(),
+            "cycle": cycle,
+            "values": values or {},
+            "n_fires": self.n_fires,
+            "halt": self.halt,
+        }
+
+    def __repr__(self):
+        state = "armed" if self.sim is not None else "detached"
+        return (f"<Watchpoint {self.name!r} "
+                f"{self.condition.describe()} fires={self.n_fires} "
+                f"{state}>")
+
+
+def _condition_taps(sim, condition):
+    """Resolve every signal spec inside a condition tree, for firing
+    snapshots (de-duplicated by name, declaration order)."""
+    taps = []
+    seen = set()
+
+    def visit(cond):
+        if isinstance(cond, _When):
+            specs = cond.specs
+        elif isinstance(cond, _SignalCondition):
+            specs = (cond.spec,)
+        else:
+            specs = ()
+        for spec in specs:
+            tap = resolve_reader(sim, spec)
+            if tap.name not in seen:
+                seen.add(tap.name)
+                taps.append(tap)
+        for child in ("left", "right", "inner", "antecedent",
+                      "consequent"):
+            sub = getattr(cond, child, None)
+            if isinstance(sub, Condition):
+                visit(sub)
+
+    visit(condition)
+    return taps

@@ -136,13 +136,19 @@ class Watchdog:
     """
 
     def __init__(self, sim, max_wall_seconds=None, max_cycles=None,
-                 check_every=64):
+                 check_every=64, bundle_dir=None):
         self.sim = sim
         self.max_wall_seconds = max_wall_seconds
         self.max_cycles = max_cycles
         self.check_every = max(1, int(check_every))
+        # Trip forensics: with flight recorders armed on the sim, a
+        # budget trip exports their windows as a repro-observe-v1
+        # bundle here (or to $REPRO_OBSERVE_DIR / recorder autodump
+        # dirs); the path lands in diagnostics()["observe_bundle"].
+        self.bundle_dir = bundle_dir
         self._start = None
         self._last_error = ""
+        self._bundle_path = None
 
     def run(self, ncycles):
         """Run up to ``ncycles`` cycles under the configured budgets."""
@@ -161,6 +167,7 @@ class Watchdog:
             if (self.max_wall_seconds is not None
                     and perf_counter() - self._start
                         > self.max_wall_seconds):
+                self._export_trip_bundle("wall-clock")
                 diag = self.diagnostics()
                 raise WatchdogTimeout(
                     f"watchdog: wall clock exceeded "
@@ -168,11 +175,37 @@ class Watchdog:
                     f"{sim.ncycles - start_cycle} cycles", diag)
             if (self.max_cycles is not None
                     and sim.ncycles - start_cycle >= self.max_cycles):
+                self._export_trip_bundle("cycle-budget")
                 diag = self.diagnostics()
                 raise WatchdogTimeout(
                     f"watchdog: cycle budget {self.max_cycles} "
                     f"exceeded", diag)
         return done
+
+    def _export_trip_bundle(self, kind):
+        """Dump the armed flight recorders when a budget trips.
+
+        Opt-in (bundle_dir / recorder autodump / $REPRO_OBSERVE_DIR)
+        and exception-guarded: forensics never masks the timeout."""
+        sim = self.sim
+        out_dir = self.bundle_dir
+        if out_dir is None:
+            for rec in getattr(sim, "_recorders", ()):
+                if rec.autodump:
+                    out_dir = rec.autodump
+                    break
+        if out_dir is None and not os.environ.get("REPRO_OBSERVE_DIR"):
+            return
+        try:
+            from ..observe.forensics import export_bundle
+            self._bundle_path = export_bundle(
+                sim, out_dir, reason=f"watchdog:{kind}",
+                extra={"watchdog": {
+                    "kind": kind,
+                    "max_wall_seconds": self.max_wall_seconds,
+                    "max_cycles": self.max_cycles}})
+        except Exception:
+            self._bundle_path = None
 
     def diagnostics(self):
         """Structured post-mortem: where the design was when killed."""
@@ -194,6 +227,8 @@ class Watchdog:
         if sim.trace_log:
             diag["recent_traces"] = [
                 {"cycle": c, "trace": t} for c, t in sim.trace_log]
+        if self._bundle_path is not None:
+            diag["observe_bundle"] = self._bundle_path
         return diag
 
     def write_report(self, path):

@@ -22,8 +22,14 @@ The schema (``repro-telemetry-v1``)::
       "derived":    {"top.proc.cpi": 1.8, ...},
       "histograms": {"top.x.lat": {"count":..,"mean":..,"bins":[[v,n]..]}},
       "transactions": [ ...per-tracer summary()... ],
-      "profile":    {...SimProfiler.report()...} | null
+      "profile":    {...SimProfiler.report()...} | null,
+      "observe":    {"recorders": [...], "watchpoints": [...]} | null
     }
+
+The ``observe`` section summarizes the waveform-observatory
+attachments (:mod:`repro.observe`): per armed flight recorder its
+signal list, depth, and recorded span; per watchpoint its condition
+and fire count.  It is ``null`` when nothing is armed.
 """
 
 from __future__ import annotations
@@ -127,6 +133,27 @@ class Telemetry:
             hot_blocks=hot,
         )
 
+    def observe_summary(self):
+        """Waveform-observatory state: armed recorders/watchpoints
+        (``None`` when the observatory is idle)."""
+        sim = self.sim
+        recorders = getattr(sim, "_recorders", ())
+        watchpoints = getattr(sim, "_watchpoints", ())
+        if not recorders and not watchpoints:
+            return None
+        return {
+            "recorders": [
+                {
+                    "signals": rec.signal_names,
+                    "depth": rec.depth,
+                    "samples": rec.nsamples,
+                    "window_cycles": len(rec._entries),
+                }
+                for rec in recorders
+            ],
+            "watchpoints": [wp.diagnostic() for wp in watchpoints],
+        }
+
     # -- report -------------------------------------------------------------
 
     def report(self):
@@ -153,6 +180,7 @@ class Telemetry:
             histograms=self.histograms(),
             transactions=[t.summary() for t in self.tracers],
             profile=profile,
+            observe=self.observe_summary(),
         )
 
     def close(self):
@@ -167,7 +195,7 @@ class TelemetryReport:
 
     def __init__(self, design, ncycles, num_events, sched, counters,
                  subtrees, leaf_totals, derived, histograms,
-                 transactions, profile):
+                 transactions, profile, observe=None):
         self.design = design
         self.ncycles = ncycles
         self.num_events = num_events
@@ -179,6 +207,7 @@ class TelemetryReport:
         self.histograms = histograms
         self.transactions = transactions
         self.profile = profile
+        self.observe = observe
 
     def to_dict(self):
         return {
@@ -197,6 +226,7 @@ class TelemetryReport:
             },
             "transactions": self.transactions,
             "profile": self.profile,
+            "observe": self.observe,
         }
 
     def to_json(self, path=None):
@@ -267,6 +297,16 @@ class TelemetryReport:
             lines.append(
                 f"  profile: {self.profile['cycles_per_sec']:.0f} "
                 "cycles/sec")
+        if self.observe is not None:
+            for rec in self.observe["recorders"]:
+                lines.append(
+                    f"  recorder: {len(rec['signals'])} signals, "
+                    f"depth {rec['depth']}, "
+                    f"{rec['window_cycles']} cycles held")
+            for wp in self.observe["watchpoints"]:
+                lines.append(
+                    f"  watchpoint {wp['name']}: {wp['condition']} "
+                    f"fired x{wp['n_fires']}")
         return "\n".join(lines)
 
 

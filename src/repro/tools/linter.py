@@ -8,7 +8,9 @@ problems before simulation:
 - input ports of submodels left unconnected;
 - nets with multiple behavioral drivers;
 - combinational blocks with an empty inferred sensitivity list;
-- name shadowing of the implicit clk/reset.
+- name shadowing of the implicit clk/reset;
+- declared Wires that nothing observes (never read by a block, a
+  connection, or an ``s.observe(...)`` registration — dead logic).
 """
 
 from __future__ import annotations
@@ -37,6 +39,7 @@ def lint(model):
     warnings.extend(_check_undriven_outputs(model))
     warnings.extend(_check_multiple_drivers(model))
     warnings.extend(_check_empty_sensitivity(model))
+    warnings.extend(_check_never_observed_sinks(model))
     return warnings
 
 
@@ -118,5 +121,84 @@ def _check_empty_sensitivity(model):
                     "empty-sensitivity",
                     f"{sub.full_name()}.{blk.func.__name__}",
                     "combinational block reads no signals",
+                ))
+    return warnings
+
+
+def _read_nets(model):
+    """Net ids some consumer reads: behavioral blocks (precise read
+    sets where translatable), connector sources, and observatory
+    registrations.  Models containing untranslatable FL/CL blocks are
+    treated conservatively — every net they touch counts as read."""
+    from ..core.ast_ir import TranslationError, translate_block
+    from ..core.elaboration import _model_signals
+    read = set()
+    for sub in model._all_models:
+        blocks = [("comb", blk) for blk in sub.get_comb_blocks()]
+        blocks += [("tick", blk) for blk in sub.get_tick_blocks()]
+        opaque = False
+        for kind, blk in blocks:
+            level = getattr(blk, "level", None)
+            ir_kind = "comb" if kind == "comb" else (
+                "tick_cl" if level in ("cl", "fl") else "tick_rtl")
+            try:
+                ir = translate_block(sub, blk, ir_kind)
+            except TranslationError:
+                # Reads we cannot enumerate: assume the block may read
+                # any signal of its own model.
+                opaque = True
+                continue
+            for ref in ir.sig_reads:
+                for sig in ref.signals:
+                    read.add(id(sig._net.find()))
+        if opaque:
+            for sig in _model_signals(sub):
+                read.add(id(sig._net.find()))
+        for spec in getattr(sub, "_observed_signals", ()):
+            sig = spec.signal if hasattr(spec, "signal") else spec
+            if hasattr(sig, "_net"):
+                read.add(id(sig._net.find()))
+    for src, _ in model._connectors:
+        sig = src.signal if hasattr(src, "signal") else src
+        read.add(id(sig._net.find()))
+    return read
+
+
+def _check_never_observed_sinks(model):
+    """Flag declared Wires nothing reads.
+
+    A Wire whose net is never read by a comb/tick block, never the
+    source of a connection, not merged (via connect) into a net
+    containing any port, and not registered with ``s.observe(...)`` is
+    write-only: the logic computing it is dead.  Ports are exempt —
+    an unread OutPort is the *environment's* business — and so is any
+    Wire sharing a net with one."""
+    warnings = []
+    read = _read_nets(model)
+    port_nets = set()
+    for sub in model._all_models:
+        for sig in vars(sub).values():
+            if isinstance(sig, (InPort, OutPort)):
+                port_nets.add(id(sig._net.find()))
+            elif isinstance(sig, list):
+                for item in sig:
+                    if isinstance(item, (InPort, OutPort)):
+                        port_nets.add(id(item._net.find()))
+    seen = set()
+    for sub in model._all_models:
+        for name, sig in list(vars(sub).items()):
+            items = sig if isinstance(sig, list) else [sig]
+            for item in items:
+                if not isinstance(item, Wire):
+                    continue
+                net = id(item._net.find())
+                if net in read or net in port_nets or net in seen:
+                    continue
+                seen.add(net)
+                warnings.append(LintWarning(
+                    "never-observed-sink",
+                    sub.full_name(),
+                    f"wire {item.name or name!r} is written but never "
+                    f"read by any block, connection, or observer",
                 ))
     return warnings

@@ -22,6 +22,29 @@ from __future__ import annotations
 import string
 
 
+def vcd_id_codes():
+    """Generate short VCD identifier codes ("a", "b", ..., "aa", ...)."""
+    chars = string.ascii_letters + string.digits + "!@#$%^&*"
+    i = 0
+    while True:
+        code = ""
+        n = i
+        while True:
+            code += chars[n % len(chars)]
+            n //= len(chars)
+            if n == 0:
+                break
+        yield code
+        i += 1
+
+
+def vcd_value_line(value, nbits, code):
+    """Format one VCD value-change line for an integer value."""
+    if nbits == 1:
+        return f"{value}{code}\n"
+    return f"b{value:b} {code}\n"
+
+
 class VCDWriter:
     """Writes cycle-sampled VCD for every signal in the design."""
 
@@ -34,20 +57,7 @@ class VCDWriter:
         self._last = {}
         self._header_done = False
 
-    def _id_codes(self):
-        """Generate short VCD identifier codes."""
-        chars = string.ascii_letters + string.digits + "!@#$%^&*"
-        i = 0
-        while True:
-            code = ""
-            n = i
-            while True:
-                code += chars[n % len(chars)]
-                n //= len(chars)
-                if n == 0:
-                    break
-            yield code
-            i += 1
+    _id_codes = staticmethod(vcd_id_codes)
 
     def _write_header(self, model):
         out = self._file = open(self.path, "w")
@@ -78,24 +88,28 @@ class VCDWriter:
 
     @staticmethod
     def _value_line(sig, code):
-        value = sig._net.find().read()
-        if sig.nbits == 1:
-            return f"{value}{code}\n"
-        return f"b{value:b} {code}\n"
+        return vcd_value_line(sig._net.find().read(), sig.nbits, code)
 
     def sample(self, cycle):
-        """Called by the simulator after every cycle."""
+        """Called by the simulator after every cycle.
+
+        Cycles on which no signal changed emit nothing at all — VCD
+        timesteps are sparse, and an empty ``#<cycle>`` line only
+        bloats the dump."""
         if not self._header_done:
             raise RuntimeError("VCDWriter not attached to a simulator")
         if self._closed:
             raise RuntimeError(f"VCDWriter {self.path!r} is closed")
-        out = self._file
-        out.write(f"#{cycle}\n")
+        last = self._last
+        lines = []
         for sig, code in self._signals:
             value = sig._net.find().read()
-            if self._last.get(code) != value:
-                self._last[code] = value
-                out.write(self._value_line(sig, code))
+            if last.get(code) != value:
+                last[code] = value
+                lines.append(self._value_line(sig, code))
+        if lines:
+            self._file.write(f"#{cycle}\n")
+            self._file.writelines(lines)
 
     def attach(self, model):
         """Bind to an elaborated model (called by SimulationTool)."""

@@ -51,10 +51,16 @@ DRAIN_CYCLES = 64
 
 
 class CoSimMismatch(AssertionError):
-    """Two implementations disagreed on an output transaction."""
+    """Two implementations disagreed on an output transaction.
+
+    ``bundles`` maps DUT names to ``repro-observe-v1`` forensics
+    bundle paths (see :mod:`repro.observe`) when flight recorders were
+    armed on the diverging simulators — the signal-level history
+    leading into the divergence."""
 
     def __init__(self, message, *, ref=None, dut=None, channel=None,
-                 index=None, expected=None, actual=None, traces=None):
+                 index=None, expected=None, actual=None, traces=None,
+                 bundles=None):
         super().__init__(message)
         self.ref = ref
         self.dut = dut
@@ -63,6 +69,7 @@ class CoSimMismatch(AssertionError):
         self.expected = expected
         self.actual = actual
         self.traces = traces or {}
+        self.bundles = bundles or {}
 
 
 class CoSimProtocolError(AssertionError):
@@ -188,7 +195,7 @@ class CoSimHarness:
     """
 
     def __init__(self, duts, compare="cycle_exact", group_key=None,
-                 check_protocol=True):
+                 check_protocol=True, bundle_dir=None):
         if compare not in ("cycle_exact", "cycle_tolerant"):
             raise ValueError(f"bad compare mode {compare!r}")
         if len(duts) < 2:
@@ -200,6 +207,11 @@ class CoSimHarness:
         self.compare = compare
         self.group_key = group_key
         self.check_protocol = check_protocol
+        # Divergence forensics: with flight recorders armed on the DUT
+        # sims, a mismatch exports each recorder window as a
+        # repro-observe-v1 bundle into this directory (or
+        # $REPRO_OBSERVE_DIR / the recorders' autodump dirs).
+        self.bundle_dir = bundle_dir
 
     # -- driving ---------------------------------------------------------
 
@@ -212,8 +224,19 @@ class CoSimHarness:
         schedules (see :func:`strategies.backpressure_pattern`) applied
         identically to every DUT.  Returns a :class:`CoSimResult`;
         raises :class:`CoSimMismatch` / :class:`CoSimProtocolError` /
-        :class:`CoSimTimeout`.
+        :class:`CoSimTimeout`.  On a mismatch with flight recorders
+        armed (and a ``bundle_dir``/autodump destination configured),
+        ``exc.bundles`` maps DUT names to exported forensics bundles.
         """
+        try:
+            return self._run(stimulus, max_cycles, backpressure,
+                             presence, drain)
+        except CoSimMismatch as exc:
+            if not exc.bundles:
+                exc.bundles = self._divergence_bundles(exc)
+            raise
+
+    def _run(self, stimulus, max_cycles, backpressure, presence, drain):
         backpressure = backpressure or backpressure_pattern("always")
         presence = presence or (lambda cycle: True)
         states = [_DutState(d, stimulus) for d in self.duts]
@@ -432,3 +455,41 @@ class CoSimHarness:
                     channel=name, index=idx,
                     expected=(0, want[idx] if idx < len(want) else 0),
                     actual=(0, got[idx] if idx < len(got) else 0))
+
+    # -- divergence forensics -------------------------------------------
+
+    def _divergence_bundles(self, exc):
+        """Export each DUT's armed recorder windows on a mismatch.
+
+        Opt-in: an explicit ``bundle_dir``, a recorder ``autodump``
+        directory, or ``$REPRO_OBSERVE_DIR`` must name a destination.
+        Never raises — forensics must not mask the divergence."""
+        import os
+        out_dir = self.bundle_dir
+        if out_dir is None:
+            for d in self.duts:
+                for rec in getattr(d.sim, "_recorders", ()):
+                    if rec.autodump:
+                        out_dir = rec.autodump
+                        break
+                if out_dir is not None:
+                    break
+        if out_dir is None and not os.environ.get("REPRO_OBSERVE_DIR"):
+            return {}
+        from ..observe.forensics import export_bundle
+        bundles = {}
+        for d in self.duts:
+            try:
+                path = export_bundle(
+                    d.sim, out_dir, reason="cosim-divergence",
+                    tag=f"cosim_{d.name}_c{d.sim.ncycles}",
+                    extra={"error": str(exc), "dut": d.name,
+                           "mismatch": {
+                               "ref": exc.ref, "dut": exc.dut,
+                               "channel": exc.channel,
+                               "index": exc.index}})
+            except Exception:
+                path = None
+            if path is not None:
+                bundles[d.name] = path
+        return bundles

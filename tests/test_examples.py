@@ -22,6 +22,7 @@ EXAMPLES = [
     "memory_over_network.py",
     "mesh_telemetry_demo.py",
     "resilience_demo.py",
+    "observe_demo.py",
 ]
 
 

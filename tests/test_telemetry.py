@@ -400,8 +400,9 @@ def test_report_schema_and_serialization(tmp_path):
     assert set(data) == {
         "schema", "design", "ncycles", "num_events", "sched",
         "counters", "subtrees", "leaf_totals", "derived",
-        "histograms", "transactions", "profile",
+        "histograms", "transactions", "profile", "observe",
     }
+    assert data["observe"] is None      # observatory idle
     assert data["design"] == "MeshNetworkStructural"
     assert data["sched"]["kernel"] is True
     total = sum(v for k, v in data["leaf_totals"].items()
@@ -498,6 +499,15 @@ def test_vcd_matches_golden(tmp_path):
     with open(golden_path) as handle:
         golden = handle.read()
     assert got == golden
+    # Timesteps are sparse: every #<cycle> line is followed by at
+    # least one value change (cycle 2 of this run — reset held, no
+    # activity — must emit nothing).
+    lines = got.splitlines()
+    for i, line in enumerate(lines):
+        if line.startswith("#"):
+            assert i + 1 < len(lines) and not lines[i + 1].startswith("#")
+    assert "#2\n" not in got
+    assert "#10" not in got                     # idle tail cycles
 
 
 def test_vcd_closes_on_exception(tmp_path):

@@ -140,3 +140,134 @@ def test_connectivity_report_marks_unconnected():
 
     report = connectivity_report(Dangling().elaborate())
     assert "(unconnected)" in report
+
+
+# -- never-observed sinks -----------------------------------------------------
+
+
+def test_lint_never_observed_sink():
+    class Dead(Model):
+        def __init__(s):
+            s.in_ = InPort(8)
+            s.out = OutPort(8)
+            s.debug = Wire(8)            # written, never read
+
+            @s.combinational
+            def comb():
+                s.out.value = s.in_.value
+                s.debug.value = s.in_ + 1
+
+    warnings = lint(Dead().elaborate())
+    hits = [w for w in warnings if w.check == "never-observed-sink"]
+    assert len(hits) == 1
+    assert "'debug'" in hits[0].message
+    assert "never" in hits[0].message
+
+
+def test_lint_read_wire_is_not_a_sink():
+    class Chained(Model):
+        def __init__(s):
+            s.in_ = InPort(8)
+            s.out = OutPort(8)
+            s.mid = Wire(8)
+
+            @s.combinational
+            def stage1():
+                s.mid.value = s.in_ + 1
+
+            @s.combinational
+            def stage2():
+                s.out.value = s.mid.value
+
+    warnings = lint(Chained().elaborate())
+    assert not [w for w in warnings
+                if w.check == "never-observed-sink"]
+
+
+def test_lint_observe_registration_clears_sink():
+    class Instrumented(Model):
+        def __init__(s):
+            s.in_ = InPort(8)
+            s.out = OutPort(8)
+            s.debug = Wire(8)
+            s.observe(s.debug)           # observatory consumer
+
+            @s.combinational
+            def comb():
+                s.out.value = s.in_.value
+                s.debug.value = s.in_ + 1
+
+    warnings = lint(Instrumented().elaborate())
+    assert not [w for w in warnings
+                if w.check == "never-observed-sink"]
+
+
+def test_lint_connected_wire_is_not_a_sink():
+    class Bridged(Model):
+        def __init__(s):
+            s.in_ = InPort(8)
+            s.out = OutPort(8)
+            s.mid = Wire(8)
+            s.connect(s.mid, s.out)      # net reaches a port
+
+            @s.combinational
+            def comb():
+                s.mid.value = s.in_ + 1
+
+    warnings = lint(Bridged().elaborate())
+    assert not [w for w in warnings
+                if w.check == "never-observed-sink"]
+
+
+def test_lint_wire_list_sinks_flagged_once_per_net():
+    class DeadList(Model):
+        def __init__(s):
+            s.in_ = InPort(8)
+            s.out = OutPort(8)
+            s.scratch = [Wire(8) for _ in range(3)]
+
+            @s.combinational
+            def comb():
+                s.out.value = s.in_.value
+                for i in range(3):
+                    s.scratch[i].value = s.in_ + i
+
+    warnings = lint(DeadList().elaborate())
+    hits = [w for w in warnings if w.check == "never-observed-sink"]
+    assert len(hits) == 3
+
+
+def test_lint_opaque_fl_model_is_conservative():
+    class Opaque(Model):
+        def __init__(s):
+            s.in_ = InPort(8)
+            s.out = OutPort(8)
+            s.maybe = Wire(8)
+
+            @s.combinational
+            def comb():
+                s.out.value = s.in_.value
+                s.maybe.value = s.in_ + 1
+
+            @s.tick_fl
+            def fl():
+                # Untranslatable: dynamic attribute access defeats the
+                # read-set analysis, so the model must be treated as
+                # possibly reading everything.
+                getattr(s, "maybe")
+
+    warnings = lint(Opaque().elaborate())
+    assert not [w for w in warnings
+                if w.check == "never-observed-sink"]
+
+
+def test_lint_cache_rtl_has_no_sinks():
+    """Regression: CacheRTL's debug-only req_type latch is covered by
+    its s.observe(...) registration."""
+    from repro.mem import CacheRTL, MemMsg
+
+    msg = MemMsg()
+    cache = CacheRTL(msg, msg, nlines=8, assoc=2)
+    warnings = lint(cache.elaborate())
+    assert not [w for w in warnings
+                if w.check == "never-observed-sink"]
