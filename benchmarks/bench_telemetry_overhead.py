@@ -1,8 +1,9 @@
 """Telemetry overhead: the observability tax at each opt-in level.
 
 The telemetry subsystem's contract is *pay only for what you turn
-on*.  This bench quantifies that on an RTL mesh by measuring
-interpreted-loop cycles/sec at five configurations:
+on*.  This bench quantifies that on an RTL mesh, including the
+compiled-instrumentation path (observability lowered into the SimJIT
+kernel) that removes the old 850x cliff:
 
 - ``baseline``  — raw mega-cycle kernel calls in a bare loop, on a
   design constructed with telemetry disabled.  This is the PR-1
@@ -11,25 +12,36 @@ interpreted-loop cycles/sec at five configurations:
   design.  The **asserted** contract: within ``MAX_OVERHEAD`` (2%)
   of baseline, i.e. constructing the telemetry machinery and leaving
   it off costs nothing measurable.
-- ``counters``  — telemetry enabled.  Wire-backed counters compile
-  into the kernel; the cost is the extra telemetry tick blocks
-  (self-retriggering, so they defeat activity gating).
+- ``jit_baseline`` — uninstrumented whole-mesh SimJIT: one compiled
+  engine, ``sim.run()`` batches straight into C.  The reference rate
+  for all compiled-instrumentation configs.
+- ``counters``  — telemetry enabled on the SimJIT mesh.  Counters
+  lower into the compiled instance and are read back in bulk after
+  the run; the kernel loop itself is untouched.
 - ``trace``     — counters plus a :class:`TxTracer` tapping every
-  terminal port.  Taps are cycle hooks, which force the interpreted
-  path; this is the price of full transaction visibility.
+  terminal port, *compiled*: the kernel writes change-compressed
+  boundary events into a C ring drained per ``run()`` batch.
+- ``recorder12`` — a 12-signal flight recorder (depth 512) compiled
+  into the kernel the same way.
 - ``profile``   — ``profile=True``: per-block and per-phase host-time
-  attribution, the most invasive mode.
+  attribution.  Interpreted by design (it times Python blocks), so it
+  is reported, not asserted, and runs its own cycle count
+  (``equal_cycles: false``).
 
-The enabled modes are reported, not asserted — their cost is the
-feature, not a regression.  ``BENCH_QUICK=1`` shrinks the mesh and
-cycle counts for CI smoke runs.  Results land in
+Every asserted comparison comes from *paired, order-alternating*
+timings at *equal cycle counts* — the only honest way to resolve
+small ratios under host frequency drift.  The compiled configs are
+asserted to stay under ``MAX_SLOWDOWN`` (2x full, 3x quick) of the
+jit baseline; the old hook path measured 850-1350x.  ``BENCH_QUICK=1``
+shrinks the mesh and budgets for CI smoke runs.  Results land in
 ``benchmarks/results/BENCH_telemetry.json``.
 """
 
 import os
 import time
 
-from common import format_table, write_json_result, write_result
+from common import (build_jit_network, format_table, write_json_result,
+                    write_result)
 from repro import SimulationTool, set_telemetry_enabled
 from repro.net import MeshNetworkStructural, RouterRTL
 
@@ -39,7 +51,10 @@ QUICK = os.environ.get("BENCH_QUICK", "0").strip().lower() not in (
 NROUTERS = 16 if QUICK else 64
 MIN_REP_SECONDS = 0.1 if QUICK else 0.25
 REPS = 3 if QUICK else 6
-MAX_OVERHEAD = 0.02
+# Quick mode runs few reps on shared CI hosts: give the noise-bound
+# disabled-telemetry contract more headroom there.
+MAX_OVERHEAD = 0.05 if QUICK else 0.02
+MAX_SLOWDOWN = 3.0 if QUICK else 2.0
 
 
 def _build(enabled):
@@ -50,6 +65,16 @@ def _build(enabled):
     finally:
         set_telemetry_enabled(prev)
     return net
+
+
+def _build_jit(enabled):
+    """Whole-mesh single-engine SimJIT wrapper + its specializer."""
+    prev = set_telemetry_enabled(enabled)
+    try:
+        wrapper, spec = build_jit_network("rtl", NROUTERS)
+    finally:
+        set_telemetry_enabled(prev)
+    return wrapper, spec
 
 
 def _inject(net):
@@ -86,10 +111,12 @@ def _best_of(fn):
 
 
 def _best_of_paired(fn_a, fn_b):
-    """Time two workloads with alternating reps so slow drift in host
-    CPU speed (thermal / frequency scaling) hits both equally — the
-    only honest way to resolve a 2% difference between them."""
+    """Time two workloads at the same cycle count with alternating
+    reps so slow drift in host CPU speed (thermal / frequency scaling)
+    hits both equally — the only honest way to resolve a small ratio
+    between them."""
     ncycles, _ = _calibrate(fn_a)
+    fn_b(ncycles)                   # warm up b (transients, buffers)
     best_a = best_b = float("inf")
     for rep in range(2 * REPS):
         # Swap which workload goes first each rep: under thermal
@@ -124,83 +151,141 @@ def _kernel_pair():
     return baseline, sim.run
 
 
-def _measure(config):
-    if config == "counters":
-        net = _build(True)
-        sim = SimulationTool(net, sched="static")
-        assert sim._kernel is not None
-        sim.reset()
-        _inject(net)
-        fn = sim.run
+def _jit_runner(enabled, instrument=None):
+    """``sim.run`` on a fresh whole-mesh SimJIT sim, optionally with
+    compiled instrumentation armed by ``instrument(wrapper, sim)``.
+    Returns (fn, cache_hit)."""
+    wrapper, spec = _build_jit(enabled)
+    sim = SimulationTool(wrapper)
+    sim.reset()
+    _inject(wrapper)
+    if instrument is not None:
+        instrument(wrapper, sim)
+    return sim.run, bool(spec.overheads.get("cache_hit"))
 
-    elif config == "trace":
-        net = _build(True)
-        sim = SimulationTool(net, sched="static")
-        tracer = sim.telemetry.trace()
-        tracer.tap_model(net)
-        sim.reset()
-        _inject(net)
-        fn = sim.run
 
-    elif config == "profile":
+def _arm_trace(wrapper, sim):
+    tracer = sim.telemetry.trace()
+    tracer.tap_model(wrapper)
+    assert tracer._instr is not None, \
+        "tx taps did not compile into the kernel"
+
+
+def _arm_recorder(wrapper, sim):
+    nper = max(1, 12 // 2)
+    signals = []
+    for i in range(nper):
+        signals.append(f"routers[{i}].grant_val[0]")
+        signals.append(f"routers[{i}].hold_val[0]")
+    rec = sim.flight_recorder(signals=signals[:12], depth=512)
+    assert rec._cidx is not None, \
+        "flight recorder did not compile into the kernel"
+
+
+def test_telemetry_overhead(benchmark):
+    entries = []
+    cache_hits = {}
+
+    def run_all():
+        # Interpreted pair: the disabled-telemetry contract.
+        baseline_fn, disabled_fn = _kernel_pair()
+        ncycles, base_cps, dis_cps = _best_of_paired(
+            baseline_fn, disabled_fn)
+        entries.append({"config": "baseline", "cycles": ncycles,
+                        "cycles_per_sec": base_cps,
+                        "slowdown_vs_baseline": 1.0,
+                        "equal_cycles": True})
+        entries.append({"config": "disabled", "cycles": ncycles,
+                        "cycles_per_sec": dis_cps,
+                        "slowdown_vs_baseline": base_cps / dis_cps,
+                        "equal_cycles": True})
+
+        # Compiled pairs: each instrumented config against its own
+        # freshly-timed uninstrumented SimJIT baseline, same cycles.
+        jit_fn, hit = _jit_runner(False)
+        cache_hits["jit_baseline"] = hit
+
+        def counters_cfg():
+            fn, hit = _jit_runner(True)
+            cache_hits["counters"] = hit
+            return fn
+
+        def trace_cfg():
+            fn, hit = _jit_runner(True, _arm_trace)
+            cache_hits["trace"] = hit
+            return fn
+
+        def recorder_cfg():
+            fn, hit = _jit_runner(False, _arm_recorder)
+            cache_hits["recorder12"] = hit
+            return fn
+
+        first = True
+        for config, make in (("counters", counters_cfg),
+                             ("trace", trace_cfg),
+                             ("recorder12", recorder_cfg)):
+            ncycles, jit_cps, cfg_cps = _best_of_paired(jit_fn, make())
+            if first:
+                entries.append({
+                    "config": "jit_baseline", "cycles": ncycles,
+                    "cycles_per_sec": jit_cps,
+                    "slowdown_vs_jit_baseline": 1.0,
+                    "equal_cycles": True})
+                first = False
+            entries.append({
+                "config": config, "cycles": ncycles,
+                "cycles_per_sec": cfg_cps,
+                "slowdown_vs_jit_baseline": jit_cps / cfg_cps,
+                "equal_cycles": True})
+
+        # Profile is interpreted by design; its own cycle count.
         net = _build(True)
         sim = SimulationTool(net, sched="static", profile=True)
         assert sim._kernel is None
         sim.reset()
         _inject(net)
-        fn = sim.run
-
-    else:
-        raise ValueError(config)
-
-    ncycles, cycles_per_sec = _best_of(fn)
-    return {"config": config, "cycles": ncycles,
-            "cycles_per_sec": cycles_per_sec}
-
-
-def test_telemetry_overhead(benchmark):
-    entries = []
-
-    def run_all():
-        baseline_fn, disabled_fn = _kernel_pair()
-        ncycles, base_cps, dis_cps = _best_of_paired(
-            baseline_fn, disabled_fn)
-        entries.append({"config": "baseline", "cycles": ncycles,
-                        "cycles_per_sec": base_cps})
-        entries.append({"config": "disabled", "cycles": ncycles,
-                        "cycles_per_sec": dis_cps})
-        for config in ("counters", "trace", "profile"):
-            entries.append(_measure(config))
+        ncycles, cps = _best_of(sim.run)
+        entries.append({"config": "profile", "cycles": ncycles,
+                        "cycles_per_sec": cps,
+                        "equal_cycles": False})
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)
 
     by_config = {e["config"]: e for e in entries}
-    base = by_config["baseline"]["cycles_per_sec"]
     rows = []
     for entry in entries:
-        slowdown = base / entry["cycles_per_sec"]
-        entry["slowdown_vs_baseline"] = slowdown
+        slow = (entry.get("slowdown_vs_jit_baseline")
+                or entry.get("slowdown_vs_baseline"))
         rows.append([
             entry["config"], entry["cycles"],
-            f"{entry['cycles_per_sec']:.0f}", f"{slowdown:.3f}x",
+            f"{entry['cycles_per_sec']:.0f}",
+            f"{slow:.3f}x" if slow else "(own cycles)",
         ])
 
     text = format_table(
-        f"Telemetry overhead ({NROUTERS}-router RTL mesh, interpreted)",
-        ["config", "cycles", "cyc/s", "slowdown"],
+        f"Telemetry overhead ({NROUTERS}-router RTL mesh)",
+        ["config", "cycles", "cyc/s", "slowdown (paired)"],
         rows,
     )
     write_result("telemetry_overhead.txt", text)
     write_json_result(
-        "telemetry", entries, quick=QUICK,
-        nrouters=NROUTERS, max_overhead=MAX_OVERHEAD)
+        "telemetry", entries, quick=QUICK, nrouters=NROUTERS,
+        max_overhead=MAX_OVERHEAD, max_slowdown=MAX_SLOWDOWN,
+        cache_hits=cache_hits)
 
-    # The asserted contract: telemetry constructed but disabled is
-    # indistinguishable from the bare kernel loop.
+    # The asserted contracts: telemetry constructed but disabled is
+    # indistinguishable from the bare kernel loop, and compiled
+    # instrumentation stays within MAX_SLOWDOWN of uninstrumented
+    # SimJIT (the hook path measured 850-1350x here).
     disabled = by_config["disabled"]["slowdown_vs_baseline"]
     assert disabled < 1.0 + MAX_OVERHEAD, (
         f"disabled telemetry costs {(disabled - 1) * 100:.1f}% "
         f"(budget {MAX_OVERHEAD * 100:.0f}%)")
+    for config in ("counters", "trace", "recorder12"):
+        slow = by_config[config]["slowdown_vs_jit_baseline"]
+        assert slow < MAX_SLOWDOWN, (
+            f"{config} runs {slow:.2f}x slower than uninstrumented "
+            f"SimJIT (budget {MAX_SLOWDOWN}x)")
 
 
 if __name__ == "__main__":

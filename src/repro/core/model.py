@@ -175,16 +175,22 @@ class Model:
         self._observed_signals.extend(signals)
         return signals[0] if len(signals) == 1 else signals
 
-    def histogram(self, name, desc=""):
-        """Declare a named histogram (``.observe(value)`` from tick
-        code); collected like :meth:`counter`."""
+    def histogram(self, name, desc="", sig=None, when=None):
+        """Declare a named histogram; collected like :meth:`counter`.
+
+        With no backing, returns a python-kind histogram to feed with
+        ``.observe(value)`` from tick code.  ``sig=`` makes it
+        *signal-backed*: the simulator samples the signal once per
+        cycle at the post-edge observation point, optionally gated by
+        ``when=`` (a one-bit enable signal), and under SimJIT the
+        binning is compiled into the generated C kernel."""
         from ..telemetry.counters import NULL_HISTOGRAM, Histogram, enabled
         if not enabled():
             return NULL_HISTOGRAM
         if name in self._telemetry_histograms:
             raise ValueError(
                 f"duplicate histogram {name!r} on {type(self).__name__}")
-        hist = Histogram(name, desc=desc, owner=self)
+        hist = Histogram(name, desc=desc, owner=self, sig=sig, when=when)
         self._telemetry_histograms[name] = hist
         return hist
 

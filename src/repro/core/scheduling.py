@@ -207,6 +207,9 @@ def generate_kernel(sim):
 
     - the pre-tick settle sweep (one ``if flag: clear; call`` pair per
       scheduled block, in topological order);
+    - the registered cycle hooks, called at the pre-edge observation
+      point (the kernel is regenerated by ``add_cycle_hook`` so a
+      hook-free kernel pays nothing);
     - every tick-block call, flag-guarded for gateable ticks;
     - the clock-edge flop loop, marking static and tick readers
       directly;
@@ -218,10 +221,13 @@ def generate_kernel(sim):
     order = sim._static_order
     plan = sim._tick_plan
     all_gated = all(slot >= 0 for slot, _func in plan)
+    hooks = tuple(sim._cycle_hooks)
 
-    lines = ["def _make(sim, funcs, ticks, gticks):"]
+    lines = ["def _make(sim, funcs, ticks, gticks, hooks):"]
     for j in range(len(plan)):
         lines.append(f"    t{j} = ticks[{j}]")
+    for h in range(len(hooks)):
+        lines.append(f"    h{h} = hooks[{h}]")
     lines += [
         "    sflags = sim._sflags",
         "    tflags = sim._tflags",
@@ -251,6 +257,13 @@ def generate_kernel(sim):
     lines.append("        if sim._sdirty:")
     sweep(12)
     lines.append("            sim._sdirty = False")
+
+    # Cycle hooks observe the settled pre-edge state with the
+    # pre-increment cycle stamp — identical to the interpreted path.
+    if hooks:
+        lines.append("        c = sim.ncycles")
+        for h in range(len(hooks)):
+            lines.append(f"        h{h}(c)")
 
     if all_gated and plan:
         # Every tick is activity-gated: scan the tick flags the same
@@ -305,6 +318,7 @@ def generate_kernel(sim):
         if slot >= 0:
             gticks[slot] = func
     kernel = namespace["_make"](
-        sim, tuple(order), [func for _slot, func in plan], tuple(gticks))
+        sim, tuple(order), [func for _slot, func in plan], tuple(gticks),
+        hooks)
     kernel._source = source
     return kernel

@@ -1,0 +1,509 @@
+"""Compiled-instrumentation manager for SimJIT simulations.
+
+:class:`KernelInstrumentation` is the Python half of the ``obs_t``
+runtime in :mod:`.cgen`: it lowers observability attachments — flight
+recorder taps, val/rdy transaction taps, watchpoint condition trees,
+and signal-backed histograms — to net slots of one compiled engine,
+registers them with the C side, and drains the C event buffers back
+into the exact Python data structures the hook path would have filled.
+
+The contract is bit-identity with the interpreted hook path:
+
+- recorder events are change-compressed ``(cycle, tap, value)``
+  samples taken after the post-edge settle, reassembled into the same
+  rolling-base window a :class:`~repro.observe.recorder.FlightRecorder`
+  builds per cycle;
+- val/rdy taps emit run-boundary events sampled after the *pre*-edge
+  settle (cycle-hook semantics); the replay feeds each boundary through
+  the tap's :class:`~repro.verif.monitors.ValRdyMonitor` and
+  bulk-expands the constant runs in between, so transfers, stalls, and
+  protocol violations are identical to per-cycle observation;
+- watchpoint predicates evaluate post-edge inside ``obs_run`` and stop
+  the batch on the hit cycle, so halt/callback/dump actions fire at
+  exactly the cycle the hook path would have fired them;
+- histogram tables merge lazily into ``Histogram.bins`` through
+  ``_jit_sync``.
+
+Anything the lowering cannot express (``when``/``stable_for``/
+``implies_within`` predicates, counter or compiled-state taps, signals
+outside this engine) degrades per-attachment to the hook path with an
+``instrument-fallback`` :class:`~repro.resilience.warnings
+.ResilienceWarning` naming the reason.  Registering a Python cycle
+hook while compiled attachments are armed converts ("dearms") all of
+them back to the interpreted path, preserving accumulated state.
+"""
+
+from __future__ import annotations
+
+from ...resilience.warnings import warn_resilience
+from .cgen import (OBS_MAX_HIST, OBS_MAX_NODES, OBS_MAX_REC, OBS_MAX_TX,
+                   OBS_MAX_WP)
+
+__all__ = ["KernelInstrumentation", "Unlowerable"]
+
+#: Entries per per-histogram C hash table (mirrors OBS_HIST_CAP in C).
+OBS_HIST_CAP = 1024
+
+
+class Unlowerable(Exception):
+    """A probe construct the C lowering cannot express."""
+
+
+class _TxState:
+    """Replay state of one compiled val/rdy tap.
+
+    ``next_cycle`` is the first cycle not yet accounted for; ``have``
+    is False until the first boundary event arrives (the C side always
+    emits one at the first sampled cycle)."""
+
+    __slots__ = ("have", "vr", "msg", "next_cycle")
+
+    def __init__(self, start_cycle):
+        self.have = False
+        self.vr = 0
+        self.msg = 0
+        self.next_cycle = start_cycle
+
+
+class KernelInstrumentation:
+    """Bridges observability attachments to a SimJIT ``obs_t``."""
+
+    REC_CAP = 1 << 16
+    TX_CAP = 1 << 16
+
+    def __init__(self, sim, engine):
+        self.sim = sim
+        self.engine = engine
+        self.lib = engine.lib
+        ffi = engine._ffi
+        self.ffi = ffi
+        self.obs = self.lib.obs_new(engine.inst, self.REC_CAP,
+                                    self.TX_CAP)
+        if self.obs == ffi.NULL:
+            raise MemoryError("obs_new failed")
+        self._rec_out = ffi.new("uint64_t[]", 4 * self.REC_CAP)
+        self._tx_out = ffi.new("uint64_t[]", 5 * self.TX_CAP)
+        self._hist_vals = ffi.new("int64_t[]", OBS_HIST_CAP)
+        self._hist_cnts = ffi.new("long long[]", OBS_HIST_CAP)
+        self._rec_owner = {}     # C tap idx -> (recorder, local idx)
+        self._tx_owner = {}      # C tap idx -> txtrace Tap
+        self._recorders = []
+        self._tracers = []
+        self._watchpoints = []   # arming order (wp._cwp set)
+        self._hists = []         # (C hist idx, Histogram)
+        self._live = 0
+        self.disabled = False
+
+    @property
+    def active(self):
+        return self._live > 0 and not self.disabled
+
+    def _warn(self, what, reason, fallback="hooks"):
+        warn_resilience(
+            f"{what} could not be compiled into the SimJIT kernel and "
+            f"samples from Python instead ({reason})",
+            kind="instrument-fallback",
+            component=type(self.sim.model).__name__,
+            fallback=fallback, detail=str(reason), stacklevel=4)
+
+    # -- slot lowering ----------------------------------------------------
+
+    def slot_of_signal(self, sig):
+        try:
+            return self.engine.slot_of(sig)
+        except Exception as exc:
+            raise Unlowerable(
+                f"signal has no net slot in this engine: {exc}") from exc
+
+    def slot_of_spec(self, spec):
+        """Net slot for a tap spec (dotted path or Signal).
+
+        Counter taps, compiled-state probes, signal slices, and
+        signals outside this engine raise :class:`Unlowerable`."""
+        from ...core.signals import Signal, _SignalSlice
+        if isinstance(spec, str):
+            from ...resilience.inject import _SignalTarget
+            try:
+                target = _SignalTarget(self.sim, spec)
+            except Exception as exc:
+                raise Unlowerable(
+                    f"path {spec!r} does not resolve to a lowerable "
+                    f"signal ({exc})") from exc
+            if target.state_idx is not None:
+                raise Unlowerable(
+                    f"path {spec!r} resolves to compiled CL state, "
+                    f"not a net slot")
+            if target.engine is self.engine:
+                return target.slot
+            if target.sig is not None:
+                return self.slot_of_signal(target.sig)
+            raise Unlowerable(
+                f"path {spec!r} does not name a signal of this engine")
+        if isinstance(spec, _SignalSlice):
+            raise Unlowerable("signal slices are sampled from Python")
+        if isinstance(spec, Signal):
+            return self.slot_of_signal(spec)
+        raise Unlowerable(
+            f"{type(spec).__name__} taps are sampled from Python")
+
+    # -- flight recorders -------------------------------------------------
+
+    def try_add_recorder(self, rec, specs):
+        """Compile every tap of ``rec`` or none (all-or-nothing, so one
+        recorder's window never mixes sampling paths)."""
+        if self.disabled:
+            return False
+        try:
+            slots = [self.slot_of_spec(spec) for spec in specs]
+        except Unlowerable as exc:
+            self._warn(f"flight recorder tap", exc)
+            return False
+        lib, obs = self.lib, self.obs
+        with_room = True  # C side also checks; mirror for the warning
+        if len(self._rec_owner) + len(slots) > OBS_MAX_REC:
+            with_room = False
+        if not with_room:
+            self._warn("flight recorder",
+                       f"recorder tap capacity ({OBS_MAX_REC}) exceeded")
+            return False
+        # Sync the C instance with the Python-driven ports so the C
+        # change detector starts from the same base values attach()
+        # just read.
+        self.engine._push_inputs()
+        cidx = []
+        for slot in slots:
+            idx = lib.obs_add_rec_tap(obs, slot)
+            if idx < 0:
+                for i in cidx:
+                    lib.obs_del_rec_tap(obs, i)
+                    self._rec_owner.pop(i, None)
+                    self._live -= 1
+                self._warn("flight recorder", "C tap table full")
+                return False
+            self._rec_owner[idx] = (rec, len(cidx))
+            cidx.append(idx)
+            self._live += 1
+        rec._cidx = cidx
+        rec._cevents = []
+        rec._csampled_to = rec._base_cycle
+        rec._instr = self
+        self._recorders.append(rec)
+        return True
+
+    def remove_recorder(self, rec):
+        """Drain, convert ``rec`` to interpreted window state, and
+        unregister its C taps (detach and dearm path)."""
+        self.drain()
+        rec._materialize_compiled()
+        for idx in rec._cidx:
+            self.lib.obs_del_rec_tap(self.obs, idx)
+            self._rec_owner.pop(idx, None)
+            self._live -= 1
+        rec._cidx = None
+        rec._cevents = None
+        rec._instr = None
+        self._recorders.remove(rec)
+
+    # -- transaction tracers ----------------------------------------------
+
+    def register_tracer(self, tracer):
+        if self.disabled:
+            return False
+        self._tracers.append(tracer)
+        return True
+
+    def try_add_tx_tap(self, tap):
+        """Compile one val/rdy tap; returns False on Unlowerable (the
+        tracer then converts itself to the hook path)."""
+        try:
+            val = self.slot_of_spec(tap.val)
+            rdy = self.slot_of_spec(tap.rdy)
+            msg = self.slot_of_spec(tap.msg)
+        except Unlowerable as exc:
+            self._warn(f"val/rdy tap {tap.name!r}", exc)
+            return False
+        self.engine._push_inputs()
+        idx = self.lib.obs_add_tx_tap(self.obs, val, rdy, msg)
+        if idx < 0:
+            self._warn(f"val/rdy tap {tap.name!r}",
+                       f"tap capacity ({OBS_MAX_TX}) exceeded")
+            return False
+        tap._cidx = idx
+        tap._cstate = _TxState(self.sim.ncycles)
+        self._tx_owner[idx] = tap
+        self._live += 1
+        return True
+
+    def remove_tracer(self, tracer):
+        """Drain and unregister every compiled tap of ``tracer``."""
+        self.drain()
+        for tap in tracer.taps:
+            if getattr(tap, "_cidx", None) is not None:
+                self.lib.obs_del_tx_tap(self.obs, tap._cidx)
+                self._tx_owner.pop(tap._cidx, None)
+                self._live -= 1
+                tap._cidx = None
+                tap._cstate = None
+        if tracer in self._tracers:
+            self._tracers.remove(tracer)
+
+    def rearm_tx_tap(self, tap):
+        """After a monitor reset: force a boundary event at the next
+        sampled cycle so the replay re-observes the live values."""
+        self.lib.obs_tx_rearm(self.obs, tap._cidx)
+        tap._cstate = _TxState(self.sim.ncycles)
+
+    # -- watchpoints ------------------------------------------------------
+
+    def try_add_watchpoint(self, wp):
+        if self.disabled:
+            return False
+        from ...observe.watchpoints import lower_condition
+        try:
+            nodes = lower_condition(wp.condition, self.slot_of_spec)
+        except Unlowerable as exc:
+            self._warn(f"watchpoint {wp.name!r}", exc)
+            return False
+        if (len(self._watchpoints) >= OBS_MAX_WP
+                or len(nodes) > OBS_MAX_NODES):
+            self._warn(f"watchpoint {wp.name!r}",
+                       "watchpoint capacity exceeded")
+            return False
+        self.engine._push_inputs()
+        packed = []
+        for kind, slot, a, b, aux in nodes:
+            packed += [kind, slot, a, b,
+                       aux & 0xFFFFFFFFFFFFFFFF, (aux >> 64) & 0xFFFFFFFFFFFFFFFF]
+        arr = self.ffi.new("int64_t[]", packed)
+        idx = self.lib.obs_add_watch(self.obs, len(nodes), arr)
+        if idx < 0:
+            self._warn(f"watchpoint {wp.name!r}",
+                       "C watchpoint node table full")
+            return False
+        wp._cwp = idx
+        wp._instr = self
+        self._watchpoints.append(wp)
+        self._live += 1
+        return True
+
+    def remove_watchpoint(self, wp):
+        self.lib.obs_del_watch(self.obs, wp._cwp)
+        wp._cwp = None
+        wp._instr = None
+        if wp in self._watchpoints:
+            self._watchpoints.remove(wp)
+        self._live -= 1
+
+    def fire_hits(self):
+        """Fire the Python actions of the watchpoints that hit on the
+        cycle the last batch stopped at (arming order; a halting
+        watchpoint raises, like the hook observer loop)."""
+        cyc = int(self.lib.obs_hit_cycle(self.obs))
+        if cyc < 0:
+            return
+        mask = int(self.lib.obs_hit_mask(self.obs))
+        for wp in list(self._watchpoints):
+            if wp._cwp is not None and (mask >> wp._cwp) & 1:
+                wp._fire(cyc)
+
+    @property
+    def has_hit(self):
+        return int(self.lib.obs_hit_cycle(self.obs)) >= 0
+
+    # -- signal-backed histograms -----------------------------------------
+
+    def try_add_histogram(self, hist):
+        if self.disabled:
+            return False
+        try:
+            if hist._sig.nbits > 63:
+                raise Unlowerable(
+                    f"{hist._sig.nbits}-bit signal exceeds the 63-bit "
+                    f"compiled binning range")
+            slot = self.slot_of_spec(hist._sig)
+            when = (self.slot_of_spec(hist._when)
+                    if hist._when is not None else -1)
+        except Unlowerable as exc:
+            self._warn(f"histogram {hist.name!r}", exc)
+            return False
+        idx = self.lib.obs_add_hist(self.obs, slot, when)
+        if idx < 0:
+            self._warn(f"histogram {hist.name!r}",
+                       f"histogram capacity ({OBS_MAX_HIST}) exceeded")
+            return False
+        hist._jit_sync = lambda: self._sync_hist(idx, hist)
+        self._hists.append((idx, hist))
+        self._live += 1
+        return True
+
+    def _sync_hist(self, idx, hist):
+        n = int(self.lib.obs_hist_drain(self.obs, idx, self._hist_vals,
+                                        self._hist_cnts))
+        if n:
+            bins = hist.bins
+            vals, cnts = self._hist_vals, self._hist_cnts
+            for i in range(n):
+                v = int(vals[i])
+                bins[v] = bins.get(v, 0) + int(cnts[i])
+
+    def reset_histograms(self):
+        """Discard compiled histogram contents (sim.reset path: the
+        Python ``bins`` are cleared by the caller)."""
+        for idx, _hist in self._hists:
+            self.lib.obs_hist_drain(self.obs, idx, self._hist_vals,
+                                    self._hist_cnts)
+
+    def remove_histogram(self, hist):
+        for entry in self._hists:
+            if entry[1] is hist:
+                self._sync_hist(entry[0], hist)
+                self.lib.obs_del_hist(self.obs, entry[0])
+                self._hists.remove(entry)
+                hist._jit_sync = None
+                self._live -= 1
+                return
+
+    # -- running ----------------------------------------------------------
+
+    def run_batch(self, n):
+        """Push inputs and run up to ``n`` compiled cycles; returns the
+        number of cycles actually run.  Stops early on a buffer-full
+        condition (caller drains and retries) or a watchpoint hit
+        (``has_hit``)."""
+        from .specializer import SpecializationError
+        eng = self.engine
+        eng._push_inputs()
+        self.lib.obs_set_cycle(self.obs, self.sim.ncycles)
+        ran = int(self.lib.obs_run(self.obs, n))
+        if ran < 0:
+            raise SpecializationError("combinational loop in C model")
+        return ran
+
+    def step(self):
+        """One compiled cycle with full sampling; returns True when a
+        watchpoint hit this cycle.  Used by ``cycle()`` so per-cycle
+        driving (cosim, interactive test benches) shares the compiled
+        sampling path."""
+        ran = self.run_batch(1)
+        if ran == 0:
+            self.drain()
+            ran = self.run_batch(1)
+            if ran == 0:
+                raise RuntimeError(
+                    "compiled instrumentation made no progress after a "
+                    "drain (buffer accounting bug)")
+        self.engine._pull_outputs(as_next=False)
+        return self.has_hit
+
+    # -- draining ---------------------------------------------------------
+
+    def drain(self):
+        """Move every buffered C event into the Python-side recorders
+        and monitors.  Idempotent and cheap when buffers are empty."""
+        lib, obs = self.lib, self.obs
+        now = self.sim.ncycles
+        n = int(lib.obs_rec_drain(obs, self._rec_out))
+        if n:
+            out = self._rec_out
+            owner = self._rec_owner
+            for i in range(n):
+                base = 4 * i
+                rec, local = owner[out[base + 1]]
+                rec._cevents.append((
+                    out[base], local,
+                    int(out[base + 2]) | (int(out[base + 3]) << 64)))
+        for rec in self._recorders:
+            rec._c_advance(now)
+        n = int(lib.obs_tx_drain(obs, self._tx_out))
+        if n:
+            out = self._tx_out
+            owner = self._tx_owner
+            for i in range(n):
+                base = 5 * i
+                tap = owner.get(out[base + 1])
+                if tap is None:
+                    continue
+                self._tx_boundary(
+                    tap, int(out[base]), int(out[base + 2]),
+                    int(out[base + 3]) | (int(out[base + 4]) << 64))
+        for tap in self._tx_owner.values():
+            self._tx_expand(tap, now)
+        # Histogram tables stay in C until a read accessor syncs them,
+        # except when obs_run stopped early because one was near-full.
+        for idx, hist in self._hists:
+            self._sync_hist(idx, hist)
+
+    @staticmethod
+    def _tx_expand(tap, upto):
+        """Account the constant run ``[state.next_cycle, upto)`` with
+        the bulk equivalents of per-cycle monitor.observe calls."""
+        state = tap._cstate
+        n = upto - state.next_cycle
+        if n <= 0:
+            return
+        if state.have:
+            vr = state.vr
+            if vr == 3:                     # val & rdy: n transfers
+                msg = state.msg
+                tap.monitor.transfers.extend(
+                    (c, msg) for c in range(state.next_cycle, upto))
+            elif vr == 1:                   # val & !rdy: n stall cycles
+                tap.stall_cycles += n
+        state.next_cycle = upto
+
+    def _tx_boundary(self, tap, cycle, vr, msg):
+        self._tx_expand(tap, cycle)
+        tap.monitor.observe(cycle, vr & 1, (vr >> 1) & 1, msg)
+        if vr == 1:
+            tap.stall_cycles += 1
+        state = tap._cstate
+        state.have = True
+        state.vr = vr
+        state.msg = msg
+        state.next_cycle = cycle + 1
+
+    # -- dearm ------------------------------------------------------------
+
+    def dearm(self, reason):
+        """Convert every compiled attachment back to the interpreted
+        hook/observer path, preserving accumulated state.  Called when
+        a Python cycle hook is registered (hooks need the interpreted
+        per-cycle loop) — further arming attempts fall back silently."""
+        if self.disabled:
+            return
+        self.drain()
+        self.disabled = True
+        sim = self.sim
+        converted = []
+        for rec in list(self._recorders):
+            self.remove_recorder(rec)
+            converted.append("recorder")
+        for tracer in list(self._tracers):
+            had = any(getattr(t, "_cidx", None) is not None
+                      for t in tracer.taps)
+            self.remove_tracer(tracer)
+            tracer._instr = None
+            # Re-observe per cycle from Python; appended directly (the
+            # caller is add_cycle_hook itself).
+            sim._cycle_hooks.append(tracer._observe)
+            if had:
+                converted.append("tracer")
+        for wp in list(self._watchpoints):
+            self.remove_watchpoint(wp)
+            # The C edge trackers left prev == current value, exactly
+            # what a fresh bind reads, so rebinding preserves edge
+            # semantics across the conversion.
+            wp._bound = wp.condition.bind(sim)
+            converted.append(f"watchpoint {wp.name!r}")
+        for idx, hist in list(self._hists):
+            self._sync_hist(idx, hist)
+            self.lib.obs_del_hist(self.obs, idx)
+            hist._jit_sync = None
+            self._live -= 1
+            sim._add_hist_sampler(hist)
+        self._hists = []
+        sim._refresh_observers()
+        if converted:
+            self._warn(
+                f"compiled instrumentation ({', '.join(converted)})",
+                reason)

@@ -25,9 +25,10 @@ from ..elaboration import elaborate
 from ..model import Model
 from ..portbundle import PortBundle
 from ..signals import InPort, OutPort, Signal, _SignalSlice
-from .cgen import C_HEADER_DECLS, CBackend
+from .cgen import C_HEADER_DECLS, C_OBS_DECLS, CBackend
 
 _CACHE_ENV = "SIMJIT_CACHE_DIR"
+_CACHE_OPTOUT_ENV = "REPRO_SIMJIT_CACHE"
 
 
 class SpecializationError(Exception):
@@ -172,6 +173,32 @@ class SimJITEngine:
         attribute was not lowered to compiled state."""
         key = f"st_m{self.model_index[id(model)]}_{attr}"
         return self.state_index.get(key)
+
+    def read_probes(self, probes):
+        """Bulk counter readback: one C call for any mix of probes.
+
+        ``probes`` is a list of ``(kind, idx, elem)`` triples — kind 0
+        reads net slot ``idx`` (unsigned, up to 128 bits), kind 1 reads
+        CL state ``state_index`` entry ``idx`` element ``elem`` (signed
+        int64).  Returns the values in order.  This extends the
+        per-counter ``raw_get``/``get_state_at`` readback path to one
+        FFI round trip per engine.
+        """
+        n = len(probes)
+        if not n:
+            return []
+        ffi = self._ffi
+        req = ffi.new("int64_t[]", [int(x) for p in probes for x in p])
+        out = ffi.new("uint64_t[]", 2 * n)
+        self.lib.read_probes(self.inst, req, n, out)
+        values = []
+        for i, (kind, _, _) in enumerate(probes):
+            lo, hi = out[2 * i], out[2 * i + 1]
+            if kind == 0:
+                values.append(lo | (hi << 64))
+            else:
+                values.append(lo - (1 << 64) if lo >= (1 << 63) else lo)
+        return values
 
     # -- checkpoint/restore (resilience.snapshot) -------------------------
 
@@ -344,6 +371,7 @@ class _Specializer:
                     slot = self._slot_of(ctr._sig)
                     ctr._jit_read = (
                         lambda s=slot: engine.raw_get(s))
+                    ctr._jit_probe = (engine, 0, slot, 0)
                 elif ctr._state is not None:
                     attr, elem = ctr._state
                     st = f"st_m{self._model_index[id(sub)]}_{attr}"
@@ -352,6 +380,7 @@ class _Specializer:
                         ctr._jit_read = (
                             lambda i=idx, e=(elem or 0):
                                 lib.get_state_at(inst, i, e))
+                        ctr._jit_probe = (engine, 1, idx, elem or 0)
                 key = f"{rel}.{cname}" if rel else cname
                 wrapper._telemetry_counters[key] = ctr
             for hname, hist in sub._telemetry_histograms.items():
@@ -446,7 +475,7 @@ class _Specializer:
     # -- emission ---------------------------------------------------------------------
 
     def _emit(self, model, comb_order, tick_irs):
-        from .cgen import C_API, C_PRELUDE
+        from .cgen import C_API, C_OBS, C_PRELUDE
 
         # Namespace CL state per model instance.
         model_index = {id(m): i for i, m in enumerate(model._all_models)}
@@ -584,6 +613,7 @@ class _Specializer:
             "  (void)I;\n" + "\n".join(init_lines) + "\n}"
         )
         parts.append(C_API)
+        parts.append(C_OBS)
         if self.extra_c:
             parts.append(self.extra_c)
         return "\n\n".join(parts)
@@ -591,30 +621,55 @@ class _Specializer:
     # -- compile / load -----------------------------------------------------------------
 
     def _compile(self, c_source):
+        """Compile (or reuse) the shared library for ``c_source``.
+
+        The on-disk cache is content-addressed: artifacts are keyed by
+        the sha256 of the generated source plus the optimization flag,
+        so any codegen change produces a new key and repeated builds of
+        the same design reuse the compiled ``.so``.  Writes go through
+        a per-process temporary name followed by an atomic
+        ``os.replace``, so concurrent builders and cache eviction never
+        expose a half-written artifact (a reader that already opened
+        the old inode keeps it alive).  Opt out per engine with
+        ``cache=False`` or globally with ``REPRO_SIMJIT_CACHE=0``.
+        """
         digest = hashlib.sha256(
             (c_source + self.opt).encode()
         ).hexdigest()[:24]
         cache_dir = _default_cache_dir()
         os.makedirs(cache_dir, exist_ok=True)
         lib_path = os.path.join(cache_dir, f"simjit_{digest}.so")
-        if self.cache and os.path.exists(lib_path):
+        use_cache = self.cache and os.environ.get(
+            _CACHE_OPTOUT_ENV, "1") != "0"
+        if use_cache and os.path.exists(lib_path):
             return lib_path, True
+        # Per-process temporaries keep their real extensions (gcc
+        # dispatches on them) and land with atomic renames.
+        tag = f".tmp{os.getpid()}"
         src_path = os.path.join(cache_dir, f"simjit_{digest}.c")
-        with open(src_path, "w") as handle:
+        tmp_src = os.path.join(cache_dir, f"simjit_{digest}{tag}.c")
+        tmp_lib = os.path.join(cache_dir, f"simjit_{digest}{tag}.so")
+        with open(tmp_src, "w") as handle:
             handle.write(c_source)
-        cmd = ["gcc", self.opt, "-shared", "-fPIC", "-o", lib_path,
-               src_path]
+        cmd = ["gcc", self.opt, "-shared", "-fPIC", "-o",
+               tmp_lib, tmp_src]
         result = subprocess.run(cmd, capture_output=True, text=True)
         if result.returncode != 0:
+            try:
+                os.remove(tmp_src)
+            except OSError:
+                pass
             raise SpecializationError(
                 f"gcc failed:\n{result.stderr[:4000]}"
             )
+        os.replace(tmp_src, src_path)
+        os.replace(tmp_lib, lib_path)
         return lib_path, False
 
     def _load(self, lib_path):
         import cffi
         ffi = cffi.FFI()
-        ffi.cdef(C_HEADER_DECLS + self.extra_cdef)
+        ffi.cdef(C_HEADER_DECLS + C_OBS_DECLS + self.extra_cdef)
         return ffi.dlopen(lib_path)
 
 

@@ -90,6 +90,13 @@ class SimulationTool:
         self._recorders = []
         self._watchpoints = []
         self._observers = ()
+        # Signal-backed histogram samplers (post-edge observers) and
+        # the compiled-instrumentation manager for single-engine SimJIT
+        # tops (created lazily; see _jit_instrumentation).
+        self._hist_observers = []
+        self._jit_instr = None
+        self._jit_checked = False
+        self._jit_ok = False
         # Optional line-trace sink: a callable taking the formatted
         # trace line, or a file path.  Setting a sink turns tracing on.
         self._trace_sink_file = None
@@ -314,6 +321,11 @@ class SimulationTool:
                     fallback="event"),
                 stacklevel=2)
 
+        # Signal-backed histograms sample themselves (compiled into
+        # the SimJIT kernel where possible, post-edge observers
+        # elsewhere); arm them now that the simulator is fully built.
+        self._init_signal_histograms()
+
     def _build_tick_plan(self):
         """Partition tick blocks into gated and always-run entries.
 
@@ -498,9 +510,20 @@ class SimulationTool:
             raise
 
     def _cycle_body(self):
+        instr = self._jit_instr
+        hit = False
         kernel = self._kernel
         hooks = self._cycle_hooks
-        if kernel is not None and not hooks:
+        if instr is not None and instr.active:
+            # Compiled instrumentation armed: the whole cycle —
+            # including recorder/tx/watchpoint sampling — runs inside
+            # the C obs_run loop.  Watchpoint actions fire below, after
+            # VCD/tracing, at the hook path's observer point.
+            hit = instr.step()
+        elif kernel is not None:
+            # Cycle hooks are compiled into the kernel (add_cycle_hook
+            # regenerates it), so the kernel path stays valid with
+            # hooks registered.
             kernel()
         elif self.profiler is not None:
             self._cycle_profiled(hooks)
@@ -547,6 +570,12 @@ class SimulationTool:
             self.trace_log.append((self.ncycles, trace))
         if self._line_trace_on:
             self.print_line_trace()
+        if hit:
+            # A compiled watchpoint hit this cycle: drain so recorder
+            # windows include it, then fire actions (halt raises from
+            # here, after the cycle fully completed — hook semantics).
+            instr.drain()
+            instr.fire_hits()
         observers = self._observers
         if observers:
             # Post-edge sampling point shared by recorders and
@@ -591,10 +620,23 @@ class SimulationTool:
 
     def run(self, ncycles):
         """Run ``ncycles`` cycles."""
+        if (self._jit_eligible() and self._vcd is None
+                and not self._line_trace_on and self.trace_log is None
+                and not self._observers):
+            # Single-engine SimJIT top with no per-cycle Python work:
+            # run the whole batch inside C.  With compiled
+            # instrumentation armed the obs_run loop samples in-kernel
+            # and stops exactly on watchpoint hits; without it, one
+            # raw_cycle(n) call is the honest uninstrumented rate.
+            instr = self._jit_instr
+            if instr is not None and instr.active:
+                self._run_batched(instr, ncycles)
+            else:
+                self._run_raw(ncycles)
+            return
         kernel = self._kernel
         if (kernel is not None and self._vcd is None
-                and not self._line_trace_on and self.trace_log is None
-                and not self._cycle_hooks):
+                and not self._line_trace_on and self.trace_log is None):
             observers = self._observers
             if not observers:
                 for _ in range(ncycles):
@@ -622,6 +664,75 @@ class SimulationTool:
         for _ in range(ncycles):
             self.cycle()
 
+    # -- SimJIT batch execution -------------------------------------------
+
+    def _jit_eligible(self):
+        """True when this sim's top is a single-engine SimJIT model
+        whose whole cycle (and compiled instrumentation) can run in C:
+        no profiler, no stats, no Python cycle hooks, and an engine
+        built with the obs runtime."""
+        if self._jit_checked:
+            return self._jit_ok
+        self._jit_checked = True
+        model = self.model
+        eng = getattr(model, "jit_engine", None)
+        self._jit_ok = (
+            eng is not None and len(model._all_models) == 1
+            and self.profiler is None and not self.collect_stats
+            and not self._cycle_hooks
+            and hasattr(eng.lib, "obs_new"))
+        return self._jit_ok
+
+    def _jit_instrumentation(self):
+        """The compiled-instrumentation manager, created on first use
+        (None when this sim cannot host one)."""
+        if not self._jit_eligible():
+            return None
+        if self._jit_instr is None:
+            from .simjit.instrument import KernelInstrumentation
+            self._jit_instr = KernelInstrumentation(
+                self, self.model.jit_engine)
+        return self._jit_instr
+
+    def _run_raw(self, ncycles):
+        """Uninstrumented SimJIT batch: one C call for the whole run."""
+        eng = self.model.jit_engine
+        eng._push_inputs()
+        eng.raw_cycle(ncycles)
+        self.ncycles += ncycles
+        eng._pull_outputs(as_next=False)
+
+    def _run_batched(self, instr, ncycles):
+        """Instrumented SimJIT batch: obs_run chunks with lazy drains.
+
+        The C loop returns early to let Python drain a near-full event
+        buffer, and on watchpoint hits so actions fire at the exact
+        cycle; either way the batch resumes losslessly."""
+        left = ncycles
+        stalls = 0
+        try:
+            while left > 0:
+                ran = instr.run_batch(left)
+                self.ncycles += ran
+                left -= ran
+                instr.drain()
+                if instr.has_hit:
+                    self.model.jit_engine._pull_outputs(as_next=False)
+                    instr.fire_hits()
+                if ran == 0:
+                    stalls += 1
+                    if stalls > 1:
+                        raise SimulationError(
+                            "compiled instrumentation made no progress "
+                            "after a drain (buffer accounting bug)")
+                else:
+                    stalls = 0
+        except Exception as exc:
+            from ..observe.forensics import crash_bundle
+            crash_bundle(self, exc, context="cycle")
+            raise
+        self.model.jit_engine._pull_outputs(as_next=False)
+
     def reset(self):
         """Assert reset for two cycles, then deassert (PyMTL idiom).
 
@@ -642,6 +753,8 @@ class SimulationTool:
             if (ctr._sig is None and ctr._state is None
                     and ctr._jit_read is None):
                 ctr._value = 0
+        if self._jit_instr is not None:
+            self._jit_instr.reset_histograms()
         for hist in getattr(self.model, "_all_histograms", {}).values():
             hist.bins.clear()
         # Re-arm the static/tick flag arrays in place (the compiled
@@ -684,12 +797,34 @@ class SimulationTool:
 
     # -- observability ------------------------------------------------------------
 
-    def add_cycle_hook(self, hook):
+    def add_cycle_hook(self, hook, prepend=False):
         """Register ``hook(cycle)`` to run once per cycle after the
-        pre-edge settle (transaction taps sample here).  While any hook
-        is registered, cycles take the interpreted path — the compiled
-        kernel has no observation points."""
-        self._cycle_hooks.append(hook)
+        pre-edge settle (transaction taps sample here).
+
+        The mega-cycle kernel is regenerated with the hook calls
+        compiled in, so kernel-mode sims keep their fast path.  SimJIT
+        sims leave the batched C loop: a Python hook needs the
+        interpreted per-cycle path, so any compiled instrumentation is
+        converted ("dearmed") back to hook-path sampling first."""
+        # Hooks forfeit SimJIT batching from now on, including for
+        # attachments armed later.
+        self._jit_checked = True
+        self._jit_ok = False
+        if self._jit_instr is not None:
+            name = getattr(hook, "__qualname__", None) or repr(hook)
+            self._jit_instr.dearm(f"cycle hook {name} registered")
+        if prepend:
+            self._cycle_hooks.insert(0, hook)
+        else:
+            self._cycle_hooks.append(hook)
+        if self._kernel is not None:
+            try:
+                self._kernel = generate_kernel(self)
+            except Exception as exc:  # degrade, don't abort the run
+                self._kernel = None
+                self._kernel_refused = self._kernel_refused + (
+                    f"kernel regeneration with cycle hooks failed "
+                    f"({type(exc).__name__}: {exc})",)
         return hook
 
     def flight_recorder(self, signals=None, depth=256, autodump=None):
@@ -720,11 +855,51 @@ class SimulationTool:
                           halt=halt, dump=dump, once=once).attach(self)
 
     def _refresh_observers(self):
-        """Rebuild the flat per-cycle sampling tuple (recorders first,
-        then watchpoints, in attach order)."""
+        """Rebuild the flat per-cycle sampling tuple (histogram
+        samplers, then recorders, then watchpoints, in attach order).
+        Attachments compiled into the SimJIT kernel stay registered —
+        for export and forensics — but are excluded from Python
+        sampling."""
         self._observers = tuple(
-            [rec.sample for rec in self._recorders]
-            + [wp.sample for wp in self._watchpoints])
+            list(self._hist_observers)
+            + [rec.sample for rec in self._recorders
+               if getattr(rec, "_cidx", None) is None]
+            + [wp.sample for wp in self._watchpoints
+               if getattr(wp, "_cwp", None) is None])
+
+    def _add_hist_sampler(self, hist):
+        """Arm a Python post-edge sampler for one signal-backed
+        histogram (the non-compiled path)."""
+        from ..observe.recorder import resolve_reader
+        sig_read = resolve_reader(self, hist._sig).read
+        observe = hist.observe
+        if hist._when is None:
+            def sampler(cycle, _r=sig_read, _o=observe):
+                _o(_r())
+        else:
+            when_read = resolve_reader(self, hist._when).read
+            def sampler(cycle, _r=sig_read, _w=when_read, _o=observe):
+                if _w():
+                    _o(_r())
+        self._hist_observers.append(sampler)
+
+    def _init_signal_histograms(self):
+        """Arm every ``sig=``-backed histogram declared in the design:
+        binning compiles into the SimJIT kernel when possible, and
+        samples post-edge from Python otherwise (kernel-compatible,
+        like recorders)."""
+        hists = [h for h in getattr(
+                     self.model, "_all_histograms", {}).values()
+                 if getattr(h, "_sig", None) is not None]
+        if not hists:
+            return
+        instr = self._jit_instrumentation()
+        for hist in hists:
+            if instr is not None and instr.try_add_histogram(hist):
+                continue
+            self._add_hist_sampler(hist)
+        if self._hist_observers:
+            self._refresh_observers()
 
     def sched_info(self):
         """Scheduling provenance: requested vs chosen mode, the

@@ -170,6 +170,14 @@ class FlightRecorder:
         self._base_cycle = 0
         self._base_values = []
         self.nsamples = 0
+        # Compiled mode (SimJIT; see core.simjit.instrument): when the
+        # taps lower to net slots of a single-engine compiled sim, the
+        # kernel writes change events into a C ring and the fields
+        # below replace the per-cycle _entries bookkeeping.
+        self._cidx = None            # C tap indices, or None (hook path)
+        self._cevents = None         # drained [(cycle, local, value)]
+        self._csampled_to = 0        # last cycle accounted for
+        self._instr = None           # owning KernelInstrumentation
 
     def attach(self, sim):
         """Bind to ``sim`` and start sampling (returns self)."""
@@ -194,6 +202,10 @@ class FlightRecorder:
         self._last = list(self._base_values)
         self._entries.clear()
         sim._recorders.append(self)
+        instr = (sim._jit_instrumentation()
+                 if hasattr(sim, "_jit_instrumentation") else None)
+        if instr is not None:
+            instr.try_add_recorder(self, specs)
         sim._refresh_observers()
         return self
 
@@ -202,6 +214,8 @@ class FlightRecorder:
         sim = self.sim
         if sim is None:
             return
+        if self._instr is not None:
+            self._instr.remove_recorder(self)
         if self in sim._recorders:
             sim._recorders.remove(self)
             sim._refresh_observers()
@@ -237,16 +251,66 @@ class FlightRecorder:
                 base[i] = value
             self._base_cycle = old_cycle
 
+    # -- compiled mode (SimJIT) -------------------------------------------
+
+    def _c_advance(self, now):
+        """Account cycles up to ``now`` and fold events that fell out
+        of the window into the rolling base — the batched equivalent of
+        the per-sample eviction in :meth:`sample`.  Called by the
+        instrumentation manager after each drain."""
+        self.nsamples += now - self._csampled_to
+        self._csampled_to = now
+        cutoff = now - self.depth
+        if cutoff <= self._base_cycle:
+            return
+        events = self._cevents
+        base = self._base_values
+        k = 0
+        for cycle, i, value in events:
+            if cycle > cutoff:
+                break
+            base[i] = value
+            k += 1
+        if k:
+            del events[:k]
+        self._base_cycle = cutoff
+
+    def _c_entries(self):
+        """Per-cycle change list equivalent to the hook path's deque
+        (``()`` for in-window cycles with no changes)."""
+        by_cycle = {}
+        for cycle, i, value in self._cevents:
+            by_cycle.setdefault(cycle, []).append((i, value))
+        return [(c, by_cycle.get(c, ()))
+                for c in range(self._base_cycle + 1,
+                               self._csampled_to + 1)]
+
+    def _materialize_compiled(self):
+        """Convert compiled state into the interpreted representation
+        (detach/dearm path) so the window stays readable and per-cycle
+        sampling can resume seamlessly."""
+        self._entries = deque(self._c_entries())
+        values = list(self._base_values)
+        for _cycle, changes in self._entries:
+            for i, value in changes:
+                values[i] = value
+        self._last = values
+
     # -- window extraction ------------------------------------------------
 
     def window(self):
         """Immutable :class:`RecorderWindow` of the current contents."""
+        if self._instr is not None:
+            self._instr.drain()
+            changes = [(c, list(ch)) for c, ch in self._c_entries()]
+        else:
+            changes = [(c, list(ch)) for c, ch in self._entries]
         return RecorderWindow(
             names=list(self.signal_names),
             widths=[tap.nbits for tap in self._taps],
             base_cycle=self._base_cycle,
             base_values=list(self._base_values),
-            changes=[(c, list(ch)) for c, ch in self._entries],
+            changes=changes,
         )
 
     def __repr__(self):

@@ -289,6 +289,59 @@ class _ImpliesWithin(Condition):
 
 
 # ---------------------------------------------------------------------------
+# C lowering (SimJIT compiled watchpoints)
+
+
+def lower_condition(condition, slot_of):
+    """Lower a condition tree to the flat postorder node forest the
+    SimJIT ``obs_t`` runtime evaluates: ``[(kind, slot, a, b, aux)]``
+    with operand indices ``a``/``b`` relative to the first node and the
+    root last.  Node kinds mirror the C evaluator: 0 rose, 1 fell,
+    2 changed, 3 value_is, 4 and, 5 or, 6 not.
+
+    Raises :class:`~repro.core.simjit.instrument.Unlowerable` for
+    predicates the C side cannot express (``when``, ``stable_for``,
+    ``implies_within``, comparison values outside the 128-bit net
+    range, and any spec that does not lower to a net slot).
+    """
+    from ..core.simjit.instrument import Unlowerable
+    nodes = []
+
+    def emit(kind, slot=-1, a=-1, b=-1, aux=0):
+        nodes.append((kind, slot, a, b, aux))
+        return len(nodes) - 1
+
+    def visit(cond):
+        if isinstance(cond, _Edge):
+            kind = {"rose": 0, "fell": 1, "changed": 2}[cond.direction]
+            return emit(kind, slot=slot_of(cond.spec))
+        if isinstance(cond, _ValueIs):
+            slot = slot_of(cond.spec)
+            values = sorted(cond.values)
+            for value in values:
+                if not 0 <= value < (1 << 128):
+                    raise Unlowerable(
+                        f"comparison value {value} is outside the "
+                        f"128-bit net range")
+            idx = emit(3, slot=slot, aux=values[0])
+            for value in values[1:]:
+                idx = emit(5, a=idx, b=emit(3, slot=slot, aux=value))
+            return idx
+        if isinstance(cond, _BoolOp):
+            a = visit(cond.left)
+            b = visit(cond.right)
+            return emit(4 if cond.op == "and" else 5, a=a, b=b)
+        if isinstance(cond, _Not):
+            return emit(6, a=visit(cond.inner))
+        raise Unlowerable(
+            f"{cond.describe()} is a Python-only predicate "
+            f"({type(cond).__name__.lstrip('_')})")
+
+    visit(condition)
+    return nodes
+
+
+# ---------------------------------------------------------------------------
 # Public combinator constructors
 
 
@@ -371,11 +424,19 @@ class Watchpoint:
         self.sim = None
         self._bound = None
         self._taps = []
+        self._cwp = None             # compiled watch index (SimJIT)
+        self._instr = None
 
     def attach(self, sim):
         self.sim = sim
-        self._bound = self.condition.bind(sim)
         self._taps = _condition_taps(sim, self.condition)
+        instr = (sim._jit_instrumentation()
+                 if hasattr(sim, "_jit_instrumentation") else None)
+        if instr is not None and instr.try_add_watchpoint(self):
+            # Condition evaluates in C; _fire is called on hit cycles.
+            self._bound = None
+        else:
+            self._bound = self.condition.bind(sim)
         sim._watchpoints.append(self)
         sim._refresh_observers()
         return self
@@ -384,6 +445,8 @@ class Watchpoint:
         sim = self.sim
         if sim is None:
             return
+        if self._instr is not None:
+            self._instr.remove_watchpoint(self)
         if self in sim._watchpoints:
             sim._watchpoints.remove(self)
             sim._refresh_observers()
@@ -403,6 +466,12 @@ class Watchpoint:
     def sample(self, cycle):
         if not self._bound.update(cycle):
             return
+        self._fire(cycle)
+
+    def _fire(self, cycle):
+        """Firing actions, shared between the hook path (via
+        :meth:`sample`) and compiled hits reported by the SimJIT
+        instrumentation runtime."""
         self.n_fires += 1
         sim = self.sim
         values = self._snapshot()

@@ -366,7 +366,10 @@ class CheckpointRing:
         self.sim = sim
         self.interval = int(interval)
         self.checkpoints = deque(maxlen=keep)
-        sim._cycle_hooks.insert(0, self._hook)
+        # Registered through the hook API (prepended) so the kernel is
+        # regenerated with the hook compiled in and any armed SimJIT
+        # instrumentation converts back to the hook path first.
+        sim.add_cycle_hook(self._hook, prepend=True)
 
     def _hook(self, cycle):
         if cycle % self.interval == 0:

@@ -12,7 +12,9 @@ The warning carries machine-readable fields next to the human message:
 
 ``kind``
     Taxonomy tag (see DESIGN.md section 1.8): ``"static-noop"``,
-    ``"sched-fallback"``, ``"kernel-fallback"``, ``"simjit-fallback"``.
+    ``"sched-fallback"``, ``"kernel-fallback"``, ``"simjit-fallback"``,
+    ``"instrument-fallback"`` (an observability probe could not be
+    compiled into the SimJIT kernel and samples from Python instead).
 ``component``
     Dotted name (or class name) of the thing that degraded.
 ``fallback``
@@ -35,7 +37,7 @@ __all__ = ["ResilienceWarning", "warn_resilience"]
 
 #: The closed set of degradation kinds (documented in DESIGN.md 1.8).
 KINDS = ("static-noop", "sched-fallback", "kernel-fallback",
-         "simjit-fallback")
+         "simjit-fallback", "instrument-fallback")
 
 
 class ResilienceWarning(RuntimeWarning):

@@ -99,7 +99,7 @@ class Counter:
     """
 
     __slots__ = ("name", "desc", "owner", "_value", "_sig", "_state",
-                 "_jit_read")
+                 "_jit_read", "_jit_probe")
 
     def __init__(self, name, desc="", owner=None, sig=None, state=None):
         if sig is not None and state is not None:
@@ -115,6 +115,11 @@ class Counter:
             state = (state[0], None)
         self._state = state
         self._jit_read = None       # set when the owner was SimJIT'ed
+        # Bulk-readback address, set alongside _jit_read by the
+        # specializer: (engine, kind, idx, elem) consumed by
+        # SimJITEngine.read_probes so sim.telemetry.counters() reads
+        # every compiled counter in one FFI call per engine.
+        self._jit_probe = None
 
     @property
     def kind(self):
@@ -160,15 +165,39 @@ class Histogram:
     Bins are exact values (sparse dict), which suits the quantities
     hardware telemetry observes — latencies, occupancies, burst
     lengths — where the support is small even when the range is not.
+
+    A histogram may be *signal-backed* (``sig=``): the simulator then
+    samples the signal's value once per cycle at the post-edge point,
+    optionally gated by a one-bit enable signal (``when=``), so the
+    model needs no Python observe calls.  Under SimJIT the binning is
+    compiled into the C kernel and merged into ``bins`` lazily through
+    ``_jit_sync`` — every read-side accessor syncs first, so the
+    Python view is always exact.
     """
 
-    __slots__ = ("name", "desc", "owner", "bins")
+    __slots__ = ("name", "desc", "owner", "bins", "_sig", "_when",
+                 "_jit_sync")
 
-    def __init__(self, name, desc="", owner=None):
+    def __init__(self, name, desc="", owner=None, sig=None, when=None):
+        if when is not None and sig is None:
+            raise ValueError(
+                "histogram when= needs a sig= to sample")
         self.name = name
         self.desc = desc
         self.owner = owner
         self.bins = {}
+        self._sig = sig
+        self._when = when
+        self._jit_sync = None   # set when binning was compiled (SimJIT)
+
+    @property
+    def kind(self):
+        return "signal" if self._sig is not None else "python"
+
+    def _sync(self):
+        sync = self._jit_sync
+        if sync is not None:
+            sync()
 
     def observe(self, value, n=1):
         value = int(value)
@@ -176,10 +205,12 @@ class Histogram:
 
     @property
     def count(self):
+        self._sync()
         return sum(self.bins.values())
 
     @property
     def total(self):
+        self._sync()
         return sum(v * n for v, n in self.bins.items())
 
     @property
@@ -189,10 +220,12 @@ class Histogram:
 
     @property
     def min(self):
+        self._sync()
         return min(self.bins) if self.bins else 0
 
     @property
     def max(self):
+        self._sync()
         return max(self.bins) if self.bins else 0
 
     def percentile(self, p):
@@ -204,6 +237,7 @@ class Histogram:
         >>> h.percentile(0.5), h.percentile(0.9), h.percentile(0.99)
         (1, 2, 10)
         """
+        self._sync()
         count = self.count
         if not count:
             return 0
@@ -217,6 +251,7 @@ class Histogram:
 
     def bins_sorted(self):
         """``[(value, count), ...]`` in ascending value order."""
+        self._sync()
         return sorted(self.bins.items())
 
     def __repr__(self):

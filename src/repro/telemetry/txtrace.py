@@ -40,7 +40,8 @@ __all__ = ["TxTracer", "Tap"]
 class Tap:
     """One observed val/rdy channel."""
 
-    __slots__ = ("name", "val", "rdy", "msg", "monitor", "stall_cycles")
+    __slots__ = ("name", "val", "rdy", "msg", "monitor", "stall_cycles",
+                 "_cidx", "_cstate", "_tracer")
 
     def __init__(self, name, val, rdy, msg, monitor):
         self.name = name
@@ -49,14 +50,23 @@ class Tap:
         self.msg = msg
         self.monitor = monitor
         self.stall_cycles = 0       # cycles with val & !rdy
+        self._cidx = None           # compiled tap index (SimJIT)
+        self._cstate = None         # replay state (see instrument)
+        self._tracer = None
+
+    def _sync(self):
+        if self._tracer is not None:
+            self._tracer._sync()
 
     @property
     def transfers(self):
         """``[(cycle, msg), ...]`` recorded so far."""
+        self._sync()
         return self.monitor.transfers
 
     @property
     def violations(self):
+        self._sync()
         return self.monitor.violations
 
 
@@ -74,6 +84,7 @@ class TxTracer:
         self._by_name = {}
         self.pairs = []             # (name, src_tap, dst_tap, key_fn)
         self.sim = None
+        self._instr = None          # KernelInstrumentation when compiled
 
     # -- declaration ------------------------------------------------------
 
@@ -89,8 +100,14 @@ class TxTracer:
             raise ValueError(f"duplicate tap name {name!r}")
         tap = Tap(name, bundle.val, bundle.rdy, bundle.msg,
                   ValRdyMonitor(name, check=self.check_protocol))
+        tap._tracer = self
         self.taps.append(tap)
         self._by_name[name] = tap
+        if self._instr is not None:
+            # Already attached in compiled mode: lower the new tap too
+            # (or fall back to the hook path for every tap at once).
+            if not self._instr.try_add_tx_tap(tap):
+                self._to_hook_path()
         return tap
 
     def tap_model(self, model, prefix=""):
@@ -133,10 +150,39 @@ class TxTracer:
 
     def attach(self, sim):
         """Register with a simulator; sampling happens just before
-        every clock edge from then on."""
+        every clock edge from then on.  On a single-engine SimJIT sim
+        the taps compile into the C kernel (run-boundary events
+        drained per batch, bit-identical to per-cycle observation);
+        otherwise — or when any tap is unlowerable — a Python cycle
+        hook samples every cycle."""
         self.sim = sim
-        sim.add_cycle_hook(self._observe)
+        instr = (sim._jit_instrumentation()
+                 if hasattr(sim, "_jit_instrumentation") else None)
+        if instr is not None and instr.register_tracer(self):
+            self._instr = instr
+            for tap in list(self.taps):
+                if not instr.try_add_tx_tap(tap):
+                    self._to_hook_path()
+                    break
+        else:
+            sim.add_cycle_hook(self._observe)
         return self
+
+    def _to_hook_path(self):
+        """Convert the whole tracer to per-cycle hook sampling (a tap
+        could not be lowered): drain and expand what the kernel already
+        captured, then register the Python hook.  Registering the hook
+        dearms any *other* compiled instrumentation too — hooks force
+        the interpreted per-cycle loop."""
+        instr = self._instr
+        self._instr = None
+        instr.remove_tracer(self)
+        self.sim.add_cycle_hook(self._observe)
+
+    def _sync(self):
+        """Drain pending compiled events before any read accessor."""
+        if self._instr is not None:
+            self._instr.drain()
 
     def _observe(self, cycle):
         for tap in self.taps:
@@ -148,8 +194,11 @@ class TxTracer:
 
     def reset_monitors(self):
         """Forget pending-offer state (call after sim.reset())."""
+        self._sync()
         for tap in self.taps:
             tap.monitor.reset()
+            if tap._cidx is not None:
+                self._instr.rearm_tx_tap(tap)
 
     # -- pairing/aggregation -------------------------------------------------
 
@@ -261,6 +310,7 @@ class TxTracer:
 
     def summary(self):
         """Structured per-tap / per-pair summary (telemetry schema)."""
+        self._sync()
         taps = {}
         for tap in self.taps:
             taps[tap.name] = {

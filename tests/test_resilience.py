@@ -64,7 +64,7 @@ def test_resilience_warning_rejects_unknown_kind():
         warn_resilience("x", kind="not-a-kind")
     assert set(KINDS) == {
         "static-noop", "sched-fallback", "kernel-fallback",
-        "simjit-fallback"}
+        "simjit-fallback", "instrument-fallback"}
 
 
 # -- fault schedules and path resolution ---------------------------------------------
