@@ -1,0 +1,115 @@
+"""Fleet scaling: mesh64 verif-sweep throughput vs worker count.
+
+Not a paper figure — quantifies the :mod:`repro.fleet` sharding win.
+The campaign is N identical-shape (different-seed) mesh64 differential
+sweeps, each co-simulating the static-scheduled interpreter against
+the SimJIT-compiled kernel of the same RTL mesh — the SimJIT point
+makes every worker lean on the shared content-addressed ``.so`` cache
+(one compile for the whole fleet, prewarmed before timing so every
+worker-count config measures simulation, not gcc).
+
+Reported per worker count: campaign wall seconds, tasks/minute, and
+speedup over the 1-worker baseline.  Two properties are asserted:
+
+- the ``repro-fleet-v1`` report is byte-identical at every worker
+  count (always — this is the fleet's core contract);
+- 4 workers reach >= 2.5x 1-worker throughput — *only asserted when
+  the host grants >= 4 usable CPUs* (``host_cpus`` is recorded in the
+  JSON so the numbers are interpretable: on a 1-CPU container the
+  honest speedup is ~1x and the scaling claim is untestable).
+
+``BENCH_QUICK=1`` shrinks to mesh16 and workers (1, 2) for CI smoke.
+Results land in ``benchmarks/results/BENCH_fleet.json``.
+"""
+
+import hashlib
+import os
+import tempfile
+import time
+
+from common import format_table, write_json_result
+from repro.fleet import Campaign, VerifSweepTask, run_campaign
+from repro.fleet.runner import default_nworkers
+
+QUICK = os.environ.get("BENCH_QUICK", "0").strip().lower() not in (
+    "", "0", "false", "no")
+
+NROUTERS = 16 if QUICK else 64
+NTASKS = 4 if QUICK else 8
+NTXNS_PER_PORT = 2
+WORKERS = (1, 2) if QUICK else (1, 2, 4, 8)
+SEED = 7
+
+# Static-vs-SimJIT points: cycle-exact, and the jit point pulls the
+# shared .so cache into the measurement.
+POINTS = (("static", {"sched": "static"}), ("jit", {"jit": True}))
+
+
+def _campaign():
+    return Campaign(f"fleet-mesh{NROUTERS}", SEED, [
+        VerifSweepTask(f"verif/mesh{NROUTERS}/{i}", scenario="mesh",
+                       ntxns=NTXNS_PER_PORT, points=POINTS,
+                       dut_params={"nrouters": NROUTERS})
+        for i in range(NTASKS)
+    ])
+
+
+def test_fleet_scaling():
+    cache_dir = os.environ.get("SIMJIT_CACHE_DIR") or tempfile.mkdtemp(
+        prefix="fleet_bench_cache_")
+    os.environ["SIMJIT_CACHE_DIR"] = cache_dir
+
+    # Prewarm the shared .so cache: the one compile the whole fleet
+    # needs should not be charged to (only) the first config timed.
+    warm = run_campaign(
+        Campaign("prewarm", SEED, [_campaign().tasks[0]]), nworkers=1)
+    assert warm.ok
+
+    host_cpus = default_nworkers()
+    rows = []
+    reports = {}
+    for nworkers in WORKERS:
+        start = time.perf_counter()
+        res = run_campaign(_campaign(), nworkers=nworkers)
+        elapsed = time.perf_counter() - start
+        assert res.ok, res.report["failures"]
+        reports[nworkers] = res.report_json()
+        rows.append({
+            "nworkers": nworkers,
+            "elapsed_s": round(elapsed, 3),
+            "tasks_per_min": round(60.0 * NTASKS / elapsed, 2),
+        })
+
+    base = rows[0]["tasks_per_min"]
+    for row in rows:
+        row["speedup"] = round(row["tasks_per_min"] / base, 2)
+
+    # Core contract, asserted unconditionally: worker count must not
+    # leak into the report bytes.
+    baseline = reports[WORKERS[0]]
+    for nworkers, text in reports.items():
+        assert text == baseline, \
+            f"report at {nworkers} workers differs from baseline"
+    report_sha = hashlib.sha256(baseline.encode()).hexdigest()
+
+    print()
+    print(format_table(
+        f"fleet scaling: {NTASKS} x mesh{NROUTERS} verif sweeps "
+        f"(host_cpus={host_cpus})",
+        ["workers", "elapsed_s", "tasks/min", "speedup"],
+        [[r["nworkers"], r["elapsed_s"], r["tasks_per_min"],
+          f"{r['speedup']:.2f}x"] for r in rows]))
+    write_json_result(
+        "fleet", rows, host_cpus=host_cpus, ntasks=NTASKS,
+        nrouters=NROUTERS, ntxns_per_port=NTXNS_PER_PORT,
+        report_sha256=report_sha, quick=QUICK)
+
+    # The scaling claim needs real parallel hardware to be meaningful.
+    if not QUICK and host_cpus >= 4:
+        four = next(r for r in rows if r["nworkers"] == 4)
+        assert four["speedup"] >= 2.5, \
+            f"4-worker speedup {four['speedup']}x < 2.5x"
+
+
+if __name__ == "__main__":
+    test_fleet_scaling()

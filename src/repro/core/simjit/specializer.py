@@ -14,6 +14,7 @@ recorded on the returned engine for the Figure 16 experiment.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import os
 import subprocess
@@ -40,6 +41,45 @@ def _default_cache_dir():
         _CACHE_ENV,
         os.path.join(tempfile.gettempdir(), "repro-simjit-cache"),
     )
+
+
+@contextlib.contextmanager
+def _build_lock(lock_path):
+    """Advisory inter-process lock serializing builders of one cache key.
+
+    Fleet campaigns fan workers across processes that all need the same
+    design hash on their first task; without the lock every worker that
+    passes the exists() check before the first publication compiles its
+    own copy (correct — publication is an atomic replace — but N-1
+    compiles are wasted).  Holding an ``flock`` on ``<digest>.so.lock``
+    makes the race deterministic: exactly one process compiles, the
+    rest block briefly and take the cache hit.  Yields ``True`` when
+    the lock is held; on platforms without ``fcntl`` (or an unwritable
+    cache dir) it degrades to the lock-free behavior and yields
+    ``False``.  The lock file itself is left in place — unlinking it
+    would reopen the race it exists to close.
+    """
+    try:
+        import fcntl
+        handle = open(lock_path, "a")
+    except (ImportError, OSError):
+        yield False
+        return
+    locked = False
+    try:
+        fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+        locked = True
+    except OSError:
+        pass
+    try:
+        yield locked
+    finally:
+        if locked:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            except OSError:
+                pass
+        handle.close()
 
 
 class _Timer:
@@ -630,8 +670,11 @@ class _Specializer:
         a per-process temporary name followed by an atomic
         ``os.replace``, so concurrent builders and cache eviction never
         expose a half-written artifact (a reader that already opened
-        the old inode keeps it alive).  Opt out per engine with
-        ``cache=False`` or globally with ``REPRO_SIMJIT_CACHE=0``.
+        the old inode keeps it alive).  Concurrent builders of the
+        *same* digest additionally serialize on a per-key ``flock``
+        (see :func:`_build_lock`): exactly one process compiles, the
+        rest take cache hits.  Opt out per engine with ``cache=False``
+        or globally with ``REPRO_SIMJIT_CACHE=0``.
         """
         digest = hashlib.sha256(
             (c_source + self.opt).encode()
@@ -643,6 +686,19 @@ class _Specializer:
             _CACHE_OPTOUT_ENV, "1") != "0"
         if use_cache and os.path.exists(lib_path):
             return lib_path, True
+        if not use_cache:
+            return self._compile_locked(c_source, cache_dir, digest,
+                                        lib_path), False
+        # Concurrent builders of the same digest (fleet workers on
+        # their first task) serialize on the key's lock: the winner
+        # compiles, everyone else re-checks under the lock and hits.
+        with _build_lock(lib_path + ".lock"):
+            if os.path.exists(lib_path):
+                return lib_path, True
+            return self._compile_locked(c_source, cache_dir, digest,
+                                        lib_path), False
+
+    def _compile_locked(self, c_source, cache_dir, digest, lib_path):
         # Per-process temporaries keep their real extensions (gcc
         # dispatches on them) and land with atomic renames.
         tag = f".tmp{os.getpid()}"
@@ -664,7 +720,7 @@ class _Specializer:
             )
         os.replace(tmp_src, src_path)
         os.replace(tmp_lib, lib_path)
-        return lib_path, False
+        return lib_path
 
     def _load(self, lib_path):
         import cffi

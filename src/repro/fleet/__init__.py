@@ -1,0 +1,60 @@
+"""Sharded multi-process simulation fleet with deterministic
+campaign aggregation.
+
+Python simulation is single-core; campaigns are embarrassingly
+parallel.  This package shards a *campaign* — a seeded list of
+picklable task specs (verif co-sim sweeps, resilience fault sweeps,
+design-space benchmark points) — across worker processes and folds the
+results into one ``repro-fleet-v1`` report whose serialized bytes are
+identical for any worker count and any completion order.
+
+Three modules:
+
+- :mod:`.campaign` — task specs and the failure-capture contract
+  (mismatches come back as shrunk repros + observe bundles, not
+  crashes);
+- :mod:`.runner` — process-pool execution with chunked work-stealing
+  dispatch and a shared SimJIT ``.so`` cache;
+- :mod:`.aggregate` — the deterministic report fold.
+
+Quick start::
+
+    from repro.fleet import Campaign, VerifSweepTask, run_campaign
+    camp = Campaign("nightly", seed=7, tasks=[
+        VerifSweepTask("cache/base", scenario="cache", ntxns=200),
+        VerifSweepTask("mesh16", scenario="mesh",
+                       dut_params={"nrouters": 16}, ntxns=50),
+    ])
+    res = run_campaign(camp, nworkers=4)
+    print(res.report["status"], res.report["coverage"])
+
+``python -m repro.fleet --workers 4`` runs a demonstration campaign.
+"""
+
+from .aggregate import SCHEMA, aggregate, report_json
+from .campaign import (
+    BenchPointTask,
+    Campaign,
+    CampaignTask,
+    FaultSweepTask,
+    TaskResult,
+    VerifSweepTask,
+    demo_campaign,
+)
+from .runner import FleetContext, FleetResult, run_campaign
+
+__all__ = [
+    "SCHEMA",
+    "aggregate",
+    "report_json",
+    "Campaign",
+    "CampaignTask",
+    "VerifSweepTask",
+    "FaultSweepTask",
+    "BenchPointTask",
+    "TaskResult",
+    "demo_campaign",
+    "FleetContext",
+    "FleetResult",
+    "run_campaign",
+]

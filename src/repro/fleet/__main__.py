@@ -1,0 +1,52 @@
+"""CLI: run a demonstration fleet campaign.
+
+::
+
+    PYTHONPATH=src python -m repro.fleet --workers 2 --seed 7 --out out/
+
+Writes ``report.json`` (the deterministic ``repro-fleet-v1`` report)
+plus failure artifacts into ``--out``, prints a summary table, and
+exits nonzero if any task failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .campaign import demo_campaign
+from .runner import run_campaign
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fleet",
+        description="Run a demonstration simulation-fleet campaign.")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--scale", choices=("small", "medium"),
+                        default="small")
+    parser.add_argument("--out", default="fleet_out",
+                        help="directory for report.json + artifacts")
+    args = parser.parse_args(argv)
+
+    campaign = demo_campaign(seed=args.seed, scale=args.scale)
+    print(f"campaign {campaign.name!r}: {len(campaign)} tasks, "
+          f"seed {campaign.seed}, {args.workers} worker(s)")
+    res = run_campaign(campaign, nworkers=args.workers,
+                       artifact_dir=args.out)
+    path = res.write_report(f"{args.out}/report.json")
+
+    report = res.report
+    for tid in sorted(report["tasks"]):
+        entry = report["tasks"][tid]
+        print(f"  {entry['status']:>8}  {tid}")
+    print(f"status: {report['status']}  counts: {report['counts']}")
+    print(f"elapsed: {res.stats['elapsed']:.2f}s across "
+          f"{res.stats['nworkers']} worker(s)")
+    print(f"report: {path}")
+    return 0 if res.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,127 @@
+"""Deterministic campaign aggregation: the ``repro-fleet-v1`` report.
+
+The aggregator's contract is the fleet's headline property: given the
+same campaign (seed + task specs), the serialized report is
+**byte-identical regardless of worker count or completion order**.
+Three rules buy that:
+
+1. **Key by task id, not arrival.**  Results land in whatever order
+   workers finish; the report stores them in a dict keyed by
+   ``task_id`` and serializes with ``sort_keys=True``, so arrival
+   order is erased.
+2. **Merge only order-insensitive data.**  Campaign-wide coverage and
+   telemetry are integer sums (counter totals, coverage-bin counts)
+   and bin-exact histogram merges — associative and commutative, so
+   any merge order gives the same totals.  Histogram summary stats
+   (mean/min/max) are recomputed from the merged bins, never averaged
+   across partials.
+3. **No wall-clock in the report.**  Timing and worker pids are
+   genuinely nondeterministic, so they travel in the runner's separate
+   stats side-channel (:class:`~repro.fleet.runner.FleetResult.stats`),
+   never in the report.
+
+``aggregate`` is a pure function of ``(campaign, results)`` — it runs
+identically in-process after a parallel run, after a sequential run,
+or over a reshuffled result list, which is exactly what the
+determinism tests assert.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..telemetry.counters import Histogram
+
+__all__ = ["SCHEMA", "aggregate", "report_json"]
+
+SCHEMA = "repro-fleet-v1"
+
+
+def _merge_coverage(total, coverage):
+    for group, bins in coverage.items():
+        dest = total.setdefault(group, {})
+        for name, count in bins.items():
+            dest[name] = dest.get(name, 0) + int(count)
+
+
+def _merge_counters(total, counters):
+    for name, value in counters.items():
+        total[name] = total.get(name, 0) + int(value)
+
+
+def _merge_histograms(total, histograms):
+    for name, data in histograms.items():
+        if name in total:
+            total[name].merge(data)
+        else:
+            total[name] = Histogram.from_dict(data, name=name)
+
+
+def aggregate(campaign, results):
+    """Fold per-task results into one ``repro-fleet-v1`` report dict.
+
+    ``results`` is an iterable of
+    :class:`~repro.fleet.campaign.TaskResult` in *any* order; the
+    report is identical for every permutation.  Raises ``ValueError``
+    on duplicate or unknown task ids and on missing tasks — a fleet
+    that lost a result must not silently report success.
+    """
+    expected = {t.task_id for t in campaign.tasks}
+    tasks = {}
+    coverage = {}
+    counters = {}
+    histograms = {}
+    counts = {"ok": 0, "mismatch": 0, "timeout": 0, "error": 0}
+
+    for res in results:
+        if res.task_id in tasks:
+            raise ValueError(f"duplicate result for task {res.task_id!r}")
+        if res.task_id not in expected:
+            raise ValueError(
+                f"result for unknown task {res.task_id!r}")
+        counts[res.status] = counts.get(res.status, 0) + 1
+        entry = {
+            "kind": res.kind,
+            "status": res.status,
+            "seed": res.seed,
+            "payload": res.payload,
+            "coverage": res.coverage,
+            "telemetry": res.telemetry,
+        }
+        if res.diagnostics is not None:
+            entry["diagnostics"] = res.diagnostics
+        tasks[res.task_id] = entry
+        _merge_coverage(coverage, res.coverage or {})
+        telemetry = res.telemetry or {}
+        _merge_counters(counters, telemetry.get("counters", {}))
+        _merge_histograms(histograms, telemetry.get("histograms", {}))
+
+    missing = sorted(expected - set(tasks))
+    if missing:
+        raise ValueError(f"no result for task(s): {missing}")
+
+    failures = sorted(tid for tid, e in tasks.items()
+                      if e["status"] != "ok")
+    return {
+        "schema": SCHEMA,
+        "campaign": campaign.name,
+        "seed": campaign.seed,
+        "ntasks": len(campaign.tasks),
+        "status": "failed" if failures else "ok",
+        "counts": counts,
+        "failures": failures,
+        "tasks": tasks,
+        "coverage": coverage,
+        "telemetry": {
+            "counters": counters,
+            "histograms": {name: hist.to_dict()
+                           for name, hist in histograms.items()},
+        },
+    }
+
+
+def report_json(report):
+    """Canonical serialization: sorted keys, fixed indent, trailing
+    newline.  This is the byte string the determinism property is
+    stated over."""
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,187 @@
+"""Process-pool campaign execution.
+
+``run_campaign`` shards a :class:`~repro.fleet.campaign.Campaign`
+across a pool of worker processes.  Task specs are tiny picklable
+descriptions; each worker rebuilds its DUTs from scratch, so nothing
+simulator-shaped ever crosses the process boundary — only specs out,
+:class:`~repro.fleet.campaign.TaskResult` back.
+
+Design notes:
+
+- **Work stealing.** Tasks are dispatched with
+  ``Pool.imap_unordered`` in small chunks, so a worker that drew a
+  quick task steals the next chunk instead of idling behind a slow
+  sibling.  Completion order is therefore nondeterministic — which is
+  fine, because the aggregator keys by task id.
+- **Fork start method.**  The default start method is ``fork`` where
+  the platform offers it: workers inherit the parent's
+  ``PYTHONHASHSEED`` and module state, so anything hash-order
+  sensitive (e.g. SimJIT code generation walking sets) is identical
+  across workers.  ``spawn`` also works (results are seed-derived),
+  but fork is cheaper and strictly more deterministic.
+- **Shared .so cache.**  Workers inherit/receive one
+  ``SIMJIT_CACHE_DIR``, so the first worker to specialize a design
+  compiles it and every other worker (and every later task) gets a
+  cache hit.  The per-key ``flock`` in the specializer serializes
+  same-design races; distinct designs compile concurrently.
+- **Failure isolation.**  ``CampaignTask.execute`` converts mismatches
+  / timeouts / exceptions into structured results, so one diverging
+  task cannot take down its siblings; the pool only dies if a worker
+  process itself is killed.
+- **Nondeterminism side-channel.**  Per-task wall time and worker pids
+  are stripped from results before aggregation and reported in
+  :attr:`FleetResult.stats` instead, keeping the report byte-stable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+from .aggregate import aggregate, report_json
+from .campaign import Campaign
+
+__all__ = ["FleetContext", "FleetResult", "run_campaign",
+           "default_nworkers"]
+
+
+class FleetContext:
+    """Per-worker execution context handed to ``task.execute``."""
+
+    def __init__(self, campaign_seed, artifact_dir=None):
+        self.campaign_seed = campaign_seed
+        self.artifact_dir = artifact_dir
+
+
+class FleetResult:
+    """Everything a campaign run produced.
+
+    ``report`` (and ``report_json()``) hold only deterministic data;
+    ``stats`` holds the wall-clock/process side-channel.
+    """
+
+    def __init__(self, campaign, results, report, stats):
+        self.campaign = campaign
+        self.results = list(results)
+        self.report = report
+        self.stats = stats
+
+    @property
+    def ok(self):
+        return self.report["status"] == "ok"
+
+    @property
+    def failures(self):
+        return self.report["failures"]
+
+    def report_json(self):
+        return report_json(self.report)
+
+    def write_report(self, path):
+        os.makedirs(os.path.dirname(os.path.abspath(path)),
+                    exist_ok=True)
+        with open(path, "w") as f:
+            f.write(self.report_json())
+        return path
+
+    def __repr__(self):
+        return (f"<FleetResult {self.campaign.name!r} "
+                f"{self.report['counts']} status="
+                f"{self.report['status']}>")
+
+
+def default_nworkers():
+    """Usable CPUs (affinity-aware where the platform reports it)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def default_chunksize(ntasks, nworkers):
+    """Small chunks: enough to amortize IPC, small enough that the
+    tail of the campaign still load-balances."""
+    return max(1, min(8, ntasks // (nworkers * 4)))
+
+
+# -- worker side --------------------------------------------------------------
+#
+# Pool workers receive the campaign-wide invariants once (initializer)
+# and task specs per dispatch.  Globals instead of closures because
+# pool initializers/workers must be module-level picklables.
+
+_WORKER_CTX = None
+
+
+def _init_worker(campaign_seed, artifact_dir, cache_dir):
+    global _WORKER_CTX
+    if cache_dir:
+        os.environ["SIMJIT_CACHE_DIR"] = cache_dir
+    _WORKER_CTX = FleetContext(campaign_seed, artifact_dir)
+
+
+def _execute(task):
+    return task.execute(_WORKER_CTX.campaign_seed, _WORKER_CTX)
+
+
+def _start_method(requested):
+    if requested:
+        return requested
+    return ("fork" if "fork" in multiprocessing.get_all_start_methods()
+            else None)
+
+
+def run_campaign(campaign, nworkers=None, chunksize=None,
+                 artifact_dir=None, start_method=None,
+                 simjit_cache_dir=None):
+    """Run every task of ``campaign`` and aggregate the results.
+
+    ``nworkers=None`` uses one worker per usable CPU; ``nworkers <= 1``
+    runs inline in this process (no pool, same execute path — the
+    sequential baseline the equivalence tests compare against).
+    ``artifact_dir`` receives failure artifacts (shrunk repros, observe
+    bundles).  ``simjit_cache_dir`` overrides the shared ``.so`` cache
+    location for workers (defaults to the inherited environment).
+
+    Returns a :class:`FleetResult`; never raises for task-level
+    failures (see ``result.report["status"]`` / ``.failures``).
+    """
+    from time import perf_counter
+
+    if not isinstance(campaign, Campaign):
+        raise TypeError(f"not a Campaign: {campaign!r}")
+    nworkers = default_nworkers() if nworkers is None else int(nworkers)
+    ntasks = len(campaign.tasks)
+    nworkers = max(1, min(nworkers, ntasks))
+    if artifact_dir:
+        os.makedirs(artifact_dir, exist_ok=True)
+
+    start = perf_counter()
+    if nworkers <= 1:
+        ctx = FleetContext(campaign.seed, artifact_dir)
+        if simjit_cache_dir:
+            os.environ["SIMJIT_CACHE_DIR"] = simjit_cache_dir
+        results = [task.execute(campaign.seed, ctx)
+                   for task in campaign.tasks]
+    else:
+        chunksize = (default_chunksize(ntasks, nworkers)
+                     if chunksize is None else max(1, int(chunksize)))
+        mp = multiprocessing.get_context(_start_method(start_method))
+        cache_dir = simjit_cache_dir or os.environ.get("SIMJIT_CACHE_DIR")
+        with mp.Pool(nworkers, initializer=_init_worker,
+                     initargs=(campaign.seed, artifact_dir,
+                               cache_dir)) as pool:
+            results = list(pool.imap_unordered(
+                _execute, campaign.tasks, chunksize=chunksize))
+    elapsed = perf_counter() - start
+
+    report = aggregate(campaign, results)
+    stats = {
+        "nworkers": nworkers,
+        "elapsed": elapsed,
+        "throughput": ntasks / elapsed if elapsed > 0 else float("inf"),
+        "workers_used": sorted({r.worker for r in results
+                                if r.worker is not None}),
+        "task_elapsed": {r.task_id: r.elapsed for r in results},
+    }
+    return FleetResult(campaign, results, report, stats)

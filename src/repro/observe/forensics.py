@@ -35,7 +35,8 @@ import os
 
 SCHEMA = "repro-observe-v1"
 
-__all__ = ["SCHEMA", "export_bundle", "crash_bundle", "load_bundle"]
+__all__ = ["SCHEMA", "export_bundle", "crash_bundle", "load_bundle",
+           "read_manifest"]
 
 
 def _resolve_dir(out_dir):
@@ -154,6 +155,22 @@ def crash_bundle(sim, exc, context="cycle"):
         return path
     except Exception:
         return None
+
+
+def read_manifest(path):
+    """Load a bundle manifest as plain JSON data (no window hydration).
+
+    Unlike :func:`load_bundle`, the window entries stay as dicts, so
+    the result is directly re-serializable — the form the fleet
+    aggregator embeds into ``repro-fleet-v1`` failure diagnostics.
+    """
+    with open(path) as f:
+        manifest = json.load(f)
+    if manifest.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: schema {manifest.get('schema')!r} is not "
+            f"{SCHEMA!r}")
+    return manifest
 
 
 def load_bundle(path):

@@ -9,7 +9,9 @@ Split across four modules:
 - :mod:`.snapshot` — checkpoint/restore with a round-trip-equals-
   uninterrupted-run guarantee, plus periodic checkpoint rings;
 - :mod:`.guard` — watchdog (wall-clock/cycle budgets + diagnostics),
-  oscillation diagnosis, and SimJIT specialize-or-fallback.
+  oscillation diagnosis, and SimJIT specialize-or-fallback;
+- :mod:`.sweeps` — portable, seed-deterministic fault-sweep campaign
+  units (runnable standalone or as :mod:`repro.fleet` tasks).
 
 Only :mod:`.warnings` is imported eagerly (the core simulator loads it
 at import time); everything else resolves lazily so importing the core
@@ -40,6 +42,8 @@ __all__ = [
     "WatchdogTimeout",
     "diagnose_oscillation",
     "specialize_or_fallback",
+    # .sweeps
+    "link_fault_sweep",
 ]
 
 _LAZY = {
@@ -57,6 +61,7 @@ _LAZY = {
     "WatchdogTimeout": "guard",
     "diagnose_oscillation": "guard",
     "specialize_or_fallback": "guard",
+    "link_fault_sweep": "sweeps",
 }
 
 

@@ -1,0 +1,105 @@
+"""Portable fault-sweep campaign units.
+
+The resilient-link exactly-once sweep originally lived inside the test
+suite; promoting it here makes it a *campaign unit* in the fault.py
+sense — a self-contained, parameterized verification component that a
+single test, a CI job, or a :mod:`repro.fleet` worker process can all
+run from one picklable parameter set.  Everything downstream of the
+integer ``seed`` is deterministic (stimulus, fault schedules,
+backpressure), so two runs of the same parameters — in the same
+process or on different fleet workers — produce bit-identical results.
+"""
+
+from __future__ import annotations
+
+from ..net.resilient_link import ResilientLink
+from ..verif.cosim import CoSimHarness, DutAdapter
+from ..verif.strategies import RNG, backpressure_pattern
+from .inject import LinkFaultInjector
+
+__all__ = ["link_fault_sweep"]
+
+
+class ExactlyOnceViolation(AssertionError):
+    """A resilient link lost, duplicated, or reordered a packet."""
+
+
+def link_fault_sweep(seed, npackets=120, drop=0.05, corrupt=0.05,
+                     stall=0.05, levels=("fl", "cl", "rtl"),
+                     payload_nbits=16, max_cycles=60_000,
+                     rdy_p=0.2, raise_on_loss=True):
+    """Co-simulated exactly-once delivery sweep over the resilient link.
+
+    Builds one :class:`~repro.net.resilient_link.ResilientLink` per
+    abstraction level, installs independent pure-of-cycle fault
+    injectors on the forward and reverse channels of each, drives all
+    of them with the same ``npackets`` random payloads through a
+    cycle-tolerant :class:`~repro.verif.cosim.CoSimHarness`, and checks
+    that every level delivered every packet exactly once and in order.
+
+    Returns a plain-dict result (JSON- and pickle-friendly)::
+
+        {"seed":..., "npackets":..., "exactly_once": True,
+         "delivered": {level: n}, "retries": {level: n},
+         "giveups": {level: n}, "fault_cycles": {level: n},
+         "ncycles": {level: n}, "coverage": {...},
+         "counters": {"link[rtl].top.sender.ctr_retries": n, ...}}
+
+    With ``raise_on_loss`` (the default) a delivery violation raises
+    :class:`ExactlyOnceViolation` instead — co-simulation divergence
+    between levels already raises ``CoSimMismatch`` from the harness.
+    """
+    seed = int(seed) & 0x7FFFFFFF
+    duts = []
+    for level in levels:
+        link = ResilientLink(payload_nbits=payload_nbits, level=level)
+        duts.append(DutAdapter(level, link,
+                               drives={"in": link.in_},
+                               captures={"out": link.out}))
+    for dut in duts:
+        LinkFaultInjector("fwd", drop=drop, corrupt=corrupt,
+                          stall=stall, seed=seed).install(dut.sim)
+        LinkFaultInjector("rev", drop=drop, corrupt=corrupt,
+                          stall=stall, seed=seed + 1).install(dut.sim)
+
+    rng = RNG(seed).fork("payloads")
+    sent = [rng.getrandbits(payload_nbits) for _ in range(npackets)]
+    harness = CoSimHarness(duts, compare="cycle_tolerant")
+    res = harness.run(
+        {"in": sent},
+        backpressure=backpressure_pattern("random", rdy_p, seed=seed),
+        max_cycles=max_cycles)
+
+    out = {
+        "seed": seed,
+        "npackets": npackets,
+        "faults": {"drop": drop, "corrupt": corrupt, "stall": stall},
+        "exactly_once": True,
+        "delivered": {},
+        "retries": {},
+        "giveups": {},
+        "fault_cycles": {},
+        "ncycles": {},
+        "coverage": res.coverage.to_dict(),
+        "counters": {},
+    }
+    for dut in duts:
+        link, level = dut.model, dut.name
+        got = [msg for _, msg in res.transfers[level]["out"]]
+        if got != sent:
+            out["exactly_once"] = False
+            if raise_on_loss:
+                raise ExactlyOnceViolation(
+                    f"link[{level}] delivered {len(got)}/{len(sent)} "
+                    f"packets (seed {seed}, drop={drop}, "
+                    f"corrupt={corrupt}, stall={stall})")
+        out["delivered"][level] = len(got)
+        out["retries"][level] = link.sender.ctr_retries.value
+        out["giveups"][level] = link.sender.ctr_giveups.value
+        out["fault_cycles"][level] = (
+            link.fwd.ctr_dropped.value + link.fwd.ctr_corrupted.value
+            + link.rev.ctr_dropped.value)
+        out["ncycles"][level] = res.ncycles[level]
+        for name, value in dut.sim.telemetry.counters().items():
+            out["counters"][f"link[{level}].{name}"] = int(value)
+    return out

@@ -254,6 +254,51 @@ class Histogram:
         self._sync()
         return sorted(self.bins.items())
 
+    def to_dict(self):
+        """Exact summary dict — the ``repro-telemetry-v1`` histogram
+        shape (count/mean/min/max plus the full sparse bin list), also
+        the unit the fleet aggregator merges across worker processes.
+
+        >>> h = Histogram("lat")
+        >>> h.observe(3, 2); h.observe(7)
+        >>> h.to_dict()["bins"]
+        [[3, 2], [7, 1]]
+        """
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "bins": [[v, n] for v, n in self.bins_sorted()],
+        }
+
+    @classmethod
+    def from_dict(cls, data, name="<merged>"):
+        """Rebuild a histogram from :meth:`to_dict` output (the summary
+        fields are recomputed from the bins, which carry the full
+        information)."""
+        hist = cls(name)
+        for value, count in (data or {}).get("bins", ()):
+            hist.observe(value, count)
+        return hist
+
+    def merge(self, other):
+        """Fold another histogram (or a :meth:`to_dict` dict) into this
+        one.  Bin-exact, so merging is associative and commutative —
+        the property the fleet aggregator's determinism rests on.
+
+        >>> a, b = Histogram("lat"), Histogram("lat")
+        >>> a.observe(3); b.observe(3); b.observe(9)
+        >>> a.merge(b); a.bins_sorted()
+        [(3, 2), (9, 1)]
+        """
+        if isinstance(other, dict):
+            pairs = other.get("bins", ())
+        else:
+            pairs = other.bins_sorted()
+        for value, count in pairs:
+            self.observe(value, count)
+
     def __repr__(self):
         return (f"<Histogram {self.name} n={self.count} "
                 f"mean={self.mean:.2f}>")

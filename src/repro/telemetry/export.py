@@ -328,11 +328,5 @@ class TelemetryReport:
 
 def _hist_dict(hist):
     if isinstance(hist, Histogram):
-        return {
-            "count": hist.count,
-            "mean": hist.mean,
-            "min": hist.min,
-            "max": hist.max,
-            "bins": [[v, n] for v, n in hist.bins_sorted()],
-        }
+        return hist.to_dict()
     return {"count": 0, "mean": 0.0, "min": 0, "max": 0, "bins": []}

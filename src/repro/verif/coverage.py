@@ -23,10 +23,44 @@ __all__ = [
 
 
 class Coverage:
-    """Named coverage bins: ``cov.hit(group, bin)`` counts events."""
+    """Named coverage bins: ``cov.hit(group, bin)`` counts events.
+
+    Instances travel across process boundaries (the fleet runner ships
+    per-task coverage back to the aggregator), so they pickle cleanly
+    and round-trip through plain dicts:
+
+    >>> cov = Coverage()
+    >>> cov.hit("handshake", "drive_xfer", 3)
+    >>> Coverage.from_dict(cov.to_dict()).count("handshake", "drive_xfer")
+    3
+    """
 
     def __init__(self):
         self._groups = defaultdict(lambda: defaultdict(int))
+
+    def __getstate__(self):
+        # The defaultdict factories are lambdas, which do not pickle;
+        # ship plain dicts and rebuild the defaults on the far side.
+        return self.to_dict()
+
+    def __setstate__(self, state):
+        self.__init__()
+        for group, bins in state.items():
+            for name, count in bins.items():
+                self._groups[group][name] += count
+
+    def to_dict(self):
+        """``{group: {bin: count}}`` with only non-empty groups."""
+        return {
+            group: dict(bins)
+            for group, bins in self._groups.items() if bins
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        cov = cls()
+        cov.__setstate__(data or {})
+        return cov
 
     def hit(self, group, name, n=1):
         self._groups[group][str(name)] += n

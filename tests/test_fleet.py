@@ -1,0 +1,248 @@
+"""Fleet properties: determinism, sequential equivalence, shared-cache
+concurrency, and failure isolation.
+
+The fleet's contract (see :mod:`repro.fleet`) decomposes into four
+testable properties:
+
+1. **Determinism** — the serialized ``repro-fleet-v1`` report is
+   byte-identical for any worker count and any result arrival order.
+2. **Equivalence** — a parallel fleet run produces exactly the
+   coverage bins and telemetry totals of a sequential single-process
+   run of the same tasks (and of the raw co-sim harness driven by
+   hand).
+3. **Cache concurrency** — two processes specializing the same design
+   against one shared ``SIMJIT_CACHE_DIR`` produce exactly one
+   compile and one cache hit (the per-key lock in the specializer),
+   one ``.so``, and no temp litter.
+4. **Failure isolation** — a task whose DUT diverges mid-sweep comes
+   back through the aggregator as a structured ``mismatch`` result
+   (ddmin-shrunk stimulus, standalone repro, ``repro-observe-v1``
+   bundles) while its sibling tasks complete normally.
+"""
+
+import json
+import multiprocessing
+import os
+import random
+
+from repro.fleet import (
+    BenchPointTask,
+    Campaign,
+    FaultSweepTask,
+    FleetContext,
+    VerifSweepTask,
+    aggregate,
+    report_json,
+    run_campaign,
+)
+from repro.verif import CoSimHarness  # noqa: F401  (re-exported check)
+from repro.verif.strategies import mem_request_strategy
+
+SEED = 7
+
+
+def _small_campaign(seed=SEED):
+    """Mixed campaign exercising verif, fault, and bench task kinds,
+    sized for test-suite wall clock."""
+    return Campaign("test-small", seed, [
+        VerifSweepTask("verif/cache/a", scenario="cache", ntxns=40),
+        VerifSweepTask("verif/cache/b", scenario="cache", ntxns=40,
+                       dut_params={"assoc": 2}),
+        VerifSweepTask("verif/mesh4", scenario="mesh", ntxns=12),
+        FaultSweepTask("fault/link", npackets=40),
+        BenchPointTask("bench/mesh", design="mesh_traffic",
+                       params={"nrouters": 4, "rate": 0.2,
+                               "ncycles": 150}),
+    ])
+
+
+# -- 1. determinism -----------------------------------------------------------
+
+
+def test_report_byte_identical_across_worker_counts():
+    """Same campaign at 1, 2, and 4 workers -> same report bytes.
+    Worker count changes scheduling, process boundaries, and .so cache
+    interleaving — none of which may reach the report."""
+    texts = [run_campaign(_small_campaign(), nworkers=n).report_json()
+             for n in (1, 2, 4)]
+    assert texts[0] == texts[1] == texts[2]
+    report = json.loads(texts[0])
+    assert report["schema"] == "repro-fleet-v1"
+    assert report["status"] == "ok"
+    assert report["ntasks"] == 5
+
+
+def test_report_byte_identical_under_shuffled_completion():
+    """Aggregation is a pure fold keyed by task id: any permutation of
+    the result list (simulating arbitrary completion order) serializes
+    to the same bytes."""
+    res = run_campaign(_small_campaign(), nworkers=2)
+    baseline = res.report_json()
+    shuffled = list(res.results)
+    rng = random.Random(123)
+    for _ in range(5):
+        rng.shuffle(shuffled)
+        again = report_json(aggregate(res.campaign, shuffled))
+        assert again == baseline
+
+
+# -- 2. sequential equivalence ------------------------------------------------
+
+
+def _equiv_campaign(seed=SEED):
+    return Campaign("test-equiv", seed, [
+        VerifSweepTask("verif/cache", scenario="cache", ntxns=40),
+        VerifSweepTask("verif/mesh16", scenario="mesh", ntxns=6,
+                       dut_params={"nrouters": 16}),
+    ])
+
+
+def test_fleet_matches_sequential_run():
+    """Coverage bins and telemetry totals from a 2-worker fleet
+    bit-match a plain in-process loop over the same task specs."""
+    fleet = run_campaign(_equiv_campaign(), nworkers=2)
+
+    camp = _equiv_campaign()
+    ctx = FleetContext(camp.seed, artifact_dir=None)
+    direct = [task.execute(camp.seed, ctx) for task in camp.tasks]
+    assert report_json(aggregate(camp, direct)) == fleet.report_json()
+
+
+def test_fleet_coverage_matches_raw_harness():
+    """The cache task's recorded coverage equals what the raw co-sim
+    harness reports when driven by hand from the same derived seed —
+    the fleet adds no stimulus drift."""
+    camp = _equiv_campaign()
+    fleet = run_campaign(camp, nworkers=2)
+    task = camp.tasks[0]
+
+    make, stimulus, run_kwargs = task._materialize(task.rng(camp.seed))
+    res = make().run(stimulus, **run_kwargs)
+    entry = fleet.report["tasks"]["verif/cache"]
+    assert entry["coverage"] == res.coverage.to_dict()
+    assert entry["payload"]["ntransactions"] == res.ntransactions()
+
+    # Sanity: the reference stimulus really is the task's own deal.
+    strat = mem_request_strategy(addr_words=64)
+    srng = task.rng(camp.seed).fork("stimulus")
+    assert stimulus["req"] == [strat.sample(srng)
+                               for _ in range(task.ntxns)]
+
+
+# -- 3. shared .so cache concurrency -----------------------------------------
+
+
+def _race_child(cache_dir, barrier, queue):
+    os.environ["SIMJIT_CACHE_DIR"] = cache_dir
+    os.environ.pop("REPRO_SIMJIT_CACHE", None)
+    from repro.components import Register
+    from repro.core.simjit import SimJITRTL
+
+    jit = SimJITRTL(Register(8).elaborate())
+    barrier.wait()          # maximize overlap: race into the compile
+    jit.specialize()
+    queue.put(bool(jit.overheads["cache_hit"]))
+
+
+def test_so_cache_single_compile_across_processes(tmp_path):
+    """Two processes specializing the same design against one shared
+    cache dir: the per-key lock serializes the build, so exactly one
+    compiles and the other hits — never two compiles, never a torn
+    read — and the cache holds one .so with no temp litter."""
+    cache_dir = str(tmp_path / "socache")
+    ctx = multiprocessing.get_context(
+        "fork" if "fork" in multiprocessing.get_all_start_methods()
+        else "spawn")
+    barrier = ctx.Barrier(2)
+    queue = ctx.Queue()
+    procs = [ctx.Process(target=_race_child,
+                         args=(cache_dir, barrier, queue))
+             for _ in range(2)]
+    for p in procs:
+        p.start()
+    hits = [queue.get(timeout=120) for _ in procs]
+    for p in procs:
+        p.join(timeout=120)
+        assert p.exitcode == 0
+
+    assert sorted(hits) == [False, True], hits
+    entries = os.listdir(cache_dir)
+    assert len([e for e in entries if e.endswith(".so")]) == 1
+    assert not [e for e in entries if ".tmp" in e]
+
+
+# -- 4. failure isolation -----------------------------------------------------
+
+
+def _buggy_cache_scenario(rng, task):
+    """Fleet scenario wrapping the injected-bug pair from the cache
+    diff tests: reference RTL cache vs the same cache with a bit-flip
+    on its nth response."""
+    from tests.test_diff_cache import _make_buggy_pair
+
+    strat = mem_request_strategy(addr_words=256)
+    srng = rng.fork("stimulus")
+    stimulus = {"req": [strat.sample(srng) for _ in range(task.ntxns)]}
+
+    def make():
+        return _make_buggy_pair(nth=8)
+
+    return make, stimulus, {"backpressure": None, "presence": None}
+
+
+_BUGGY_BUILD_SRC = """\
+from tests.test_diff_cache import _make_buggy_pair
+
+
+def make_cosim():
+    return _make_buggy_pair(nth=8)
+"""
+
+
+def test_failing_task_returns_diagnostics_without_killing_fleet(tmp_path):
+    """A mid-sweep divergence becomes a structured mismatch result —
+    shrunk repro, observe bundles — and sibling tasks still finish."""
+    artifact_dir = str(tmp_path / "artifacts")
+    camp = Campaign("test-failure", SEED, [
+        VerifSweepTask("verif/cache/good", scenario="cache", ntxns=30),
+        VerifSweepTask("verif/cache/buggy",
+                       scenario=_buggy_cache_scenario, ntxns=40,
+                       max_cycles=20_000, shrink=True, shrink_runs=150,
+                       observe_depth=32, build_src=_BUGGY_BUILD_SRC),
+        VerifSweepTask("verif/mesh4/good", scenario="mesh", ntxns=10),
+    ])
+    res = run_campaign(camp, nworkers=2, artifact_dir=artifact_dir)
+
+    report = res.report
+    assert report["status"] == "failed"
+    assert report["failures"] == ["verif/cache/buggy"]
+    assert report["counts"] == {"ok": 2, "mismatch": 1,
+                                "timeout": 0, "error": 0}
+    for tid in ("verif/cache/good", "verif/mesh4/good"):
+        assert report["tasks"][tid]["status"] == "ok"
+        assert report["tasks"][tid]["payload"]["ntransactions"] > 0
+
+    diag = report["tasks"]["verif/cache/buggy"]["diagnostics"]
+    assert diag["channel"] == "resp"
+    assert diag["dut"] == "buggy"
+    # ddmin shrank the 40-transaction sweep to a handful.
+    assert 1 <= diag["shrunk_ntxns"] <= 10
+    assert sum(len(v) for v in diag["shrunk_stimulus"].values()) \
+        == diag["shrunk_ntxns"]
+    # The standalone repro landed in the artifact dir and is baked
+    # into the report too.
+    repro_path = os.path.join(artifact_dir, diag["repro_file"])
+    assert os.path.exists(repro_path)
+    assert "def make_cosim()" in diag["repro_source"]
+    # Observe bundles: flight recorders were armed, so the divergence
+    # exported repro-observe-v1 manifests for both DUTs.
+    assert set(diag["bundles"]) == {"good", "buggy"}
+    for dut, fname in diag["bundles"].items():
+        assert os.path.exists(os.path.join(artifact_dir, fname))
+        manifest = diag["bundle_manifests"][dut]
+        assert manifest["schema"] == "repro-observe-v1"
+        assert manifest["windows"]
+
+    # The whole failure payload survives canonical serialization.
+    assert json.loads(res.report_json())["failures"] \
+        == ["verif/cache/buggy"]
