@@ -59,6 +59,12 @@ def elaborate(top):
     """Elaborate ``top`` as the root of a design hierarchy."""
     if top._elaborated:
         return top
+    from ..telemetry import tracing
+    with tracing.span("sim.elaborate", design=type(top).__name__):
+        return _elaborate(top)
+
+
+def _elaborate(top):
     if top.name is None:
         top.name = "top"
 

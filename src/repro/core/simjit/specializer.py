@@ -21,6 +21,7 @@ import subprocess
 import tempfile
 import time
 
+from ...telemetry import tracing
 from ..ast_ir import BlockIR, TranslationError, translate_block
 from ..elaboration import elaborate
 from ..model import Model
@@ -83,6 +84,12 @@ def _build_lock(lock_path):
 
 
 class _Timer:
+    """Accumulates wall time into ``record[key]``; with host-span
+    tracing armed, each timed phase also lands as a ``simjit.<key>``
+    span (``perf_counter`` and ``perf_counter_ns`` read the same
+    clock, so the converted timestamps nest correctly under the
+    enclosing ``simjit.compile`` span)."""
+
     def __init__(self, record, key):
         self.record = record
         self.key = key
@@ -92,8 +99,13 @@ class _Timer:
         return self
 
     def __exit__(self, *exc):
+        end = time.perf_counter()
         self.record[self.key] = self.record.get(self.key, 0.0) \
-            + time.perf_counter() - self.start
+            + end - self.start
+        tracer = tracing.active()
+        if tracer is not None:
+            tracer.add_span(f"simjit.{self.key}",
+                            int(self.start * 1e9), int(end * 1e9))
         return False
 
 
@@ -357,6 +369,13 @@ class _Specializer:
 
     def specialize(self):
         """Run the full pipeline; returns a :class:`JITModel`."""
+        with tracing.span("simjit.compile",
+                          design=type(self.orig).__name__) as sp:
+            wrapper = self._specialize()
+            sp.set(cache_hit=bool(self.overheads.get("cache_hit")))
+            return wrapper
+
+    def _specialize(self):
         model = self.orig
         with _Timer(self.overheads, "elab"):
             if not model.is_elaborated():

@@ -52,6 +52,7 @@ from time import perf_counter
 
 from .scheduling import build_schedule, generate_kernel
 from ..resilience.warnings import ResilienceWarning
+from ..telemetry import tracing
 
 
 class SimulationError(Exception):
@@ -75,6 +76,7 @@ class SimulationTool:
         if not model.is_elaborated():
             model.elaborate()
         self.model = model
+        self._design_name = type(model).__name__
         self.ncycles = 0
         self._line_trace_on = line_trace
         self._sched_requested = sched
@@ -202,7 +204,9 @@ class SimulationTool:
         sched_fault = None
         if sched != "event":
             try:
-                schedule = build_schedule(infos)
+                with tracing.span("sim.schedule",
+                                  design=self._design_name):
+                    schedule = build_schedule(infos)
             except Exception as exc:      # degrade, don't abort the run
                 sched_fault = f"{type(exc).__name__}: {exc}"
                 schedule = None
@@ -275,7 +279,9 @@ class SimulationTool:
         self._kernel_refused = tuple(refused)
         if not refused:
             try:
-                self._kernel = generate_kernel(self)
+                with tracing.span("sim.compile",
+                                  design=self._design_name):
+                    self._kernel = generate_kernel(self)
             except Exception as exc:  # degrade, don't abort the run
                 self._kernel = None
                 self._kernel_refused = (
@@ -614,12 +620,28 @@ class SimulationTool:
         t4 = perf_counter()
         self.eval_combinational()
         t5 = perf_counter()
-        prof.add_phases(
-            settle_pre=t1 - t0, hooks=t2 - t1, tick=t3 - t2,
-            flop=t4 - t3, settle_post=t5 - t4)
+        prof.add_span("settle_pre", t1 - t0, cycles=1)
+        prof.add_span("hooks", t2 - t1)
+        prof.add_span("tick", t3 - t2)
+        prof.add_span("flop", t4 - t3)
+        prof.add_span("settle_post", t5 - t4)
 
     def run(self, ncycles):
-        """Run ``ncycles`` cycles."""
+        """Run ``ncycles`` cycles.
+
+        With host-span tracing armed (:mod:`repro.telemetry.tracing`),
+        each ``run`` call becomes one ``sim.run`` span — batch
+        granularity, so the per-cycle hot loops stay untouched and the
+        disarmed cost is a single global check.
+        """
+        tracer = tracing.active()
+        if tracer is None:
+            return self._run_impl(ncycles)
+        with tracer.span("sim.run", design=self._design_name,
+                         ncycles=ncycles, start_cycle=self.ncycles):
+            return self._run_impl(ncycles)
+
+    def _run_impl(self, ncycles):
         if (self._jit_eligible() and self._vcd is None
                 and not self._line_trace_on and self.trace_log is None
                 and not self._observers):
@@ -739,6 +761,10 @@ class SimulationTool:
         Combinational logic settles after deassertion so the test
         bench immediately sees post-reset outputs (e.g. rdy signals
         gated by reset)."""
+        with tracing.span("sim.reset", design=self._design_name):
+            self._reset_impl()
+
+    def _reset_impl(self):
         self.model.reset.value = 1
         self.cycle()
         self.cycle()
@@ -819,7 +845,10 @@ class SimulationTool:
             self._cycle_hooks.append(hook)
         if self._kernel is not None:
             try:
-                self._kernel = generate_kernel(self)
+                with tracing.span("sim.compile",
+                                  design=self._design_name,
+                                  reason="cycle-hook regeneration"):
+                    self._kernel = generate_kernel(self)
             except Exception as exc:  # degrade, don't abort the run
                 self._kernel = None
                 self._kernel_refused = self._kernel_refused + (

@@ -8,14 +8,18 @@ design-space benchmark points) — across worker processes and folds the
 results into one ``repro-fleet-v1`` report whose serialized bytes are
 identical for any worker count and any completion order.
 
-Three modules:
+Four modules:
 
 - :mod:`.campaign` — task specs and the failure-capture contract
   (mismatches come back as shrunk repros + observe bundles, not
   crashes);
 - :mod:`.runner` — process-pool execution with chunked work-stealing
   dispatch and a shared SimJIT ``.so`` cache;
-- :mod:`.aggregate` — the deterministic report fold.
+- :mod:`.aggregate` — the deterministic report fold;
+- :mod:`.live` — the observability side-channel: merges streamed
+  worker spans/metrics into live progress and one Chrome/Perfetto
+  campaign trace (``run_campaign(..., trace=True)`` /
+  ``python -m repro.fleet --live --trace out.json``).
 
 Quick start::
 
@@ -41,6 +45,7 @@ from .campaign import (
     VerifSweepTask,
     demo_campaign,
 )
+from .live import LiveCollector, Ticker
 from .runner import FleetContext, FleetResult, run_campaign
 
 __all__ = [
@@ -56,5 +61,7 @@ __all__ = [
     "demo_campaign",
     "FleetContext",
     "FleetResult",
+    "LiveCollector",
+    "Ticker",
     "run_campaign",
 ]

@@ -15,6 +15,7 @@ import argparse
 import sys
 
 from .campaign import demo_campaign
+from .live import Ticker
 from .runner import run_campaign
 
 
@@ -28,14 +29,28 @@ def main(argv=None):
                         default="small")
     parser.add_argument("--out", default="fleet_out",
                         help="directory for report.json + artifacts")
+    parser.add_argument("--live", action="store_true",
+                        help="stderr progress ticker while the "
+                             "campaign runs")
+    parser.add_argument("--trace", metavar="PATH", default=None,
+                        help="write the merged Chrome/Perfetto span "
+                             "trace JSON here (implies tracing on)")
     args = parser.parse_args(argv)
 
     campaign = demo_campaign(seed=args.seed, scale=args.scale)
     print(f"campaign {campaign.name!r}: {len(campaign)} tasks, "
           f"seed {campaign.seed}, {args.workers} worker(s)")
+    ticker = Ticker() if args.live else None
     res = run_campaign(campaign, nworkers=args.workers,
-                       artifact_dir=args.out)
+                       artifact_dir=args.out,
+                       trace=args.trace is not None,
+                       progress=ticker)
+    if ticker is not None:
+        ticker.close()
     path = res.write_report(f"{args.out}/report.json")
+    if args.trace is not None:
+        print(f"trace: {res.write_trace(args.trace)} "
+              f"(open in https://ui.perfetto.dev)")
 
     report = res.report
     for tid in sorted(report["tasks"]):

@@ -113,6 +113,7 @@ class CampaignTask:
         — sibling tasks on the same worker keep running either way.
         """
         from ..resilience.guard import WatchdogTimeout
+        from ..telemetry import tracing
         from ..verif.cosim import CoSimMismatch, CoSimTimeout
 
         rng = self.rng(campaign_seed)
@@ -120,25 +121,28 @@ class CampaignTask:
         start = perf_counter()
         status, payload, coverage, telemetry, diagnostics = \
             "ok", {}, {}, {}, None
-        try:
-            payload, coverage, telemetry = self.run(rng, ctx)
-        except CoSimMismatch as exc:
-            status = "mismatch"
-            diagnostics = self._diagnose_mismatch(exc, campaign_seed,
-                                                  ctx)
-        except (CoSimTimeout, WatchdogTimeout) as exc:
-            status = "timeout"
-            diagnostics = {"message": str(exc)}
-            wd_diag = getattr(exc, "diagnostics", None)
-            if wd_diag:
-                diagnostics["watchdog"] = _strip_timing(wd_diag)
-        except Exception as exc:
-            status = "error"
-            diagnostics = {
-                "type": type(exc).__name__,
-                "message": str(exc),
-                "traceback": traceback.format_exc(limit=16),
-            }
+        with tracing.span("fleet.task", task=self.task_id,
+                          kind=self.kind) as sp:
+            try:
+                payload, coverage, telemetry = self.run(rng, ctx)
+            except CoSimMismatch as exc:
+                status = "mismatch"
+                diagnostics = self._diagnose_mismatch(
+                    exc, campaign_seed, ctx)
+            except (CoSimTimeout, WatchdogTimeout) as exc:
+                status = "timeout"
+                diagnostics = {"message": str(exc)}
+                wd_diag = getattr(exc, "diagnostics", None)
+                if wd_diag:
+                    diagnostics["watchdog"] = _strip_timing(wd_diag)
+            except Exception as exc:
+                status = "error"
+                diagnostics = {
+                    "type": type(exc).__name__,
+                    "message": str(exc),
+                    "traceback": traceback.format_exc(limit=16),
+                }
+            sp.set(status=status)
         import os
         return TaskResult(
             task_id=self.task_id, kind=self.kind, status=status,
@@ -166,6 +170,22 @@ def _mismatch_facts(exc):
     }
     if exc.bundles:
         import os
+
+        from ..telemetry import tracing
+
+        # With host-span tracing armed, hang the spans collected so
+        # far (the failing task's timeline) off every exported bundle.
+        # Side-channel only: the manifests embedded in the report
+        # below strip the trace reference, so report bytes stay
+        # identical with tracing on or off.
+        tracer = tracing.active()
+        if tracer is not None:
+            from ..observe.forensics import attach_trace
+            for dut, path in sorted(exc.bundles.items()):
+                try:
+                    attach_trace(path, tracer.events)
+                except Exception:
+                    pass
         facts["bundles"] = {
             dut: os.path.basename(path)
             for dut, path in sorted(exc.bundles.items())}
@@ -173,7 +193,9 @@ def _mismatch_facts(exc):
         for dut, path in sorted(exc.bundles.items()):
             try:
                 from ..observe.forensics import read_manifest
-                manifests[dut] = read_manifest(path)
+                manifest = read_manifest(path)
+                manifest.pop("trace", None)
+                manifests[dut] = manifest
             except Exception:
                 pass
         if manifests:
@@ -544,12 +566,15 @@ def _cache_geometry_point(rng, params):
     sim = SimulationTool(tile)
     sim.reset()
     limit = int(params.get("max_cycles", 3_000_000))
-    while not int(tile.proc.done):
-        sim.cycle()
-        if sim.ncycles >= limit:
-            raise RuntimeError(
-                f"cache_geometry point did not finish in {limit} "
-                f"cycles")
+    from ..telemetry import tracing
+    with tracing.span("sim.run", design="Tile") as sp:
+        while not int(tile.proc.done):
+            sim.cycle()
+            if sim.ncycles >= limit:
+                raise RuntimeError(
+                    f"cache_geometry point did not finish in {limit} "
+                    f"cycles")
+        sp.set(ncycles=sim.ncycles)
     metrics = {
         "ncycles": sim.ncycles,
         "miss_rate": tile.dcache.miss_rate(),

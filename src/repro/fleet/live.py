@@ -1,0 +1,210 @@
+"""Live fleet observability: span collection and progress metrics.
+
+The runner's workers stream two kinds of messages over a
+multiprocessing queue side-channel (see :mod:`repro.fleet.runner`):
+
+- ``("spans", pid, [records])`` — host-span records drained from the
+  worker's :class:`~repro.telemetry.tracing.Tracer` after each task;
+- ``("metrics", pid, snapshot)`` — a periodic per-worker metrics
+  snapshot (tasks done/failed, cumulative simulated cycles, RSS,
+  counter deltas), emitted after each task completes.
+
+:class:`LiveCollector` merges them **arrival-order-free**: records are
+bucketed per worker pid and only ordered (by timestamp, within their
+pid track) at export time, so two runs of the same campaign differ
+only in genuinely nondeterministic data (timings), never because the
+queue happened to interleave differently.  Nothing here touches the
+deterministic ``repro-fleet-v1`` report — the collector is pure
+side-channel.
+
+Exports:
+
+- :meth:`LiveCollector.chrome_trace` — one merged Chrome/Perfetto
+  trace object with a pid track per worker (plus the parent process),
+  spans correctly nested per thread, built on the shared
+  :mod:`~repro.telemetry.traceevent` serializer;
+- :class:`Ticker` — a rate-limited stderr progress line for
+  ``python -m repro.fleet --live``.
+"""
+
+from __future__ import annotations
+
+import sys
+from time import perf_counter
+
+from ..telemetry import traceevent
+from ..telemetry.tracing import spans_to_events
+
+__all__ = ["LiveCollector", "Ticker", "worker_snapshot"]
+
+
+def worker_snapshot(tasks_done, tasks_failed, cycles, counters=None):
+    """Build one worker metrics snapshot (runs worker-side).
+
+    ``ru_maxrss`` is kilobytes on Linux; cumulative counts cover the
+    life of the worker process.
+    """
+    import resource
+    usage = resource.getrusage(resource.RUSAGE_SELF)
+    return {
+        "tasks_done": tasks_done,
+        "tasks_failed": tasks_failed,
+        "cycles": cycles,
+        "rss_kb": usage.ru_maxrss,
+        "cpu_seconds": usage.ru_utime + usage.ru_stime,
+        "counters": dict(counters or {}),
+    }
+
+
+class LiveCollector:
+    """Merges worker span/metrics messages into one live view.
+
+    Feed it with :meth:`on_message` (any order); read progress
+    attributes at any time; export the merged timeline with
+    :meth:`chrome_trace` when the campaign is done.  ``progress`` is
+    an optional callable invoked with the collector after every
+    ingested message and finished task (the ``--live`` ticker).
+    """
+
+    def __init__(self, ntasks=None, progress=None):
+        self.ntasks = ntasks
+        self.progress = progress
+        self.spans_by_pid = {}      # pid -> [record, ...]
+        self.metrics_by_pid = {}    # pid -> latest snapshot
+        self.tasks_done = 0
+        self.tasks_failed = 0
+        self.dropped_spans = 0
+        self._t0 = perf_counter()
+
+    # -- ingestion --------------------------------------------------------
+
+    def on_message(self, msg):
+        """Ingest one side-channel message (see module docstring)."""
+        kind, pid, body = msg
+        if kind == "spans":
+            self.spans_by_pid.setdefault(pid, []).extend(body)
+        elif kind == "metrics":
+            self.metrics_by_pid[pid] = body
+        elif kind == "dropped":
+            self.dropped_spans += body
+        else:
+            raise ValueError(f"unknown side-channel message {kind!r}")
+        self._notify()
+
+    def task_finished(self, result):
+        """Record one finished :class:`TaskResult` (parent-side; the
+        runner calls this as results arrive)."""
+        self.tasks_done += 1
+        if result.status != "ok":
+            self.tasks_failed += 1
+        self._notify()
+
+    def _notify(self):
+        if self.progress is not None:
+            self.progress(self)
+
+    # -- live metrics -----------------------------------------------------
+
+    @property
+    def elapsed(self):
+        return perf_counter() - self._t0
+
+    @property
+    def cycles(self):
+        """Cumulative simulated cycles across all workers."""
+        return sum(snap.get("cycles", 0)
+                   for snap in self.metrics_by_pid.values())
+
+    @property
+    def cycles_per_sec(self):
+        elapsed = self.elapsed
+        return self.cycles / elapsed if elapsed > 0 else 0.0
+
+    @property
+    def rss_kb(self):
+        """Peak RSS summed across workers (kilobytes)."""
+        return sum(snap.get("rss_kb", 0)
+                   for snap in self.metrics_by_pid.values())
+
+    def counter_totals(self):
+        """Telemetry counter totals accumulated across workers."""
+        totals = {}
+        for snap in self.metrics_by_pid.values():
+            for name, value in snap.get("counters", {}).items():
+                totals[name] = totals.get(name, 0) + int(value)
+        return totals
+
+    # -- export -----------------------------------------------------------
+
+    def chrome_trace(self, campaign=None):
+        """One merged trace object: a pid track per worker, spans
+        nested within each track, instants preserved.
+
+        Track naming and event order depend only on the *content* of
+        the collected records (pids sorted, records timestamp-sorted
+        within their pid), never on message arrival order.
+        """
+        events = []
+        all_records = []
+        for i, pid in enumerate(sorted(self.spans_by_pid)):
+            records = self.spans_by_pid[pid]
+            events.append(traceevent.process_name(
+                pid, f"worker {i} (pid {pid})"))
+            events.append(traceevent.process_sort_index(pid, i))
+            for tid in sorted({r["tid"] for r in records}):
+                events.append(traceevent.thread_name(
+                    pid, tid, f"thread {tid}"))
+            all_records.extend(records)
+        # One shared time base so all pid tracks align: fork + the
+        # perf_counter_ns clock give every worker the same epoch.
+        base_ns = min((r["ts"] for r in all_records), default=0)
+        for pid in sorted(self.spans_by_pid):
+            records = sorted(self.spans_by_pid[pid],
+                             key=lambda r: r["ts"])
+            events.extend(spans_to_events(records, base_ns=base_ns))
+        metadata = {"unit": "1us = 1us host wall clock"}
+        if campaign is not None:
+            metadata["campaign"] = campaign.name
+            metadata["seed"] = campaign.seed
+        if self.dropped_spans:
+            metadata["dropped_spans"] = self.dropped_spans
+        return traceevent.trace_object(events, metadata=metadata)
+
+    def write_chrome_trace(self, path, campaign=None):
+        return traceevent.write_trace(
+            path, self.chrome_trace(campaign=campaign))
+
+
+class Ticker:
+    """Rate-limited one-line stderr progress display (``--live``).
+
+    Callable with the collector (the ``progress`` hook); writes a
+    carriage-returned status line at most every ``interval`` seconds.
+    """
+
+    def __init__(self, stream=None, interval=0.25):
+        self.stream = sys.stderr if stream is None else stream
+        self.interval = interval
+        self._last = 0.0
+        self._wrote = False
+
+    def __call__(self, collector):
+        now = perf_counter()
+        if now - self._last < self.interval:
+            return
+        self._last = now
+        total = ("?" if collector.ntasks is None
+                 else str(collector.ntasks))
+        line = (f"[fleet] {collector.tasks_done}/{total} tasks"
+                f"  fail={collector.tasks_failed}"
+                f"  {collector.cycles_per_sec:,.0f} cyc/s"
+                f"  rss={collector.rss_kb / 1024.0:.0f}MB"
+                f"  {collector.elapsed:.1f}s")
+        self.stream.write("\r\x1b[2K" + line)
+        self.stream.flush()
+        self._wrote = True
+
+    def close(self):
+        if self._wrote:
+            self.stream.write("\n")
+            self.stream.flush()

@@ -31,12 +31,22 @@ Design notes:
 - **Nondeterminism side-channel.**  Per-task wall time and worker pids
   are stripped from results before aggregation and reported in
   :attr:`FleetResult.stats` instead, keeping the report byte-stable.
+- **Observability side-channel.**  With ``trace=True`` each worker
+  arms a process-local :class:`~repro.telemetry.tracing.Tracer` and,
+  after every task, ships its drained span records plus a metrics
+  snapshot (tasks done/failed, cumulative cycles, RSS, counter
+  totals) over a manager queue to a
+  :class:`~repro.fleet.live.LiveCollector` in the parent.  Everything
+  observability rides this side-channel; the deterministic
+  ``repro-fleet-v1`` report bytes are identical with tracing on or
+  off (asserted in ``tests/test_tracing.py``).
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import queue as queue_mod
 
 from .aggregate import aggregate, report_json
 from .campaign import Campaign
@@ -57,14 +67,17 @@ class FleetResult:
     """Everything a campaign run produced.
 
     ``report`` (and ``report_json()``) hold only deterministic data;
-    ``stats`` holds the wall-clock/process side-channel.
+    ``stats`` holds the wall-clock/process side-channel and ``trace``
+    the :class:`~repro.fleet.live.LiveCollector` (``None`` unless the
+    run traced).
     """
 
-    def __init__(self, campaign, results, report, stats):
+    def __init__(self, campaign, results, report, stats, trace=None):
         self.campaign = campaign
         self.results = list(results)
         self.report = report
         self.stats = stats
+        self.trace = trace
 
     @property
     def ok(self):
@@ -83,6 +96,20 @@ class FleetResult:
         with open(path, "w") as f:
             f.write(self.report_json())
         return path
+
+    def chrome_trace(self):
+        """The merged campaign trace object (requires ``trace=True``)."""
+        if self.trace is None:
+            raise ValueError(
+                "campaign was run without trace=True; no spans "
+                "were collected")
+        return self.trace.chrome_trace(campaign=self.campaign)
+
+    def write_trace(self, path):
+        """Write the merged Chrome/Perfetto trace JSON; returns
+        ``path``."""
+        from ..telemetry.traceevent import write_trace
+        return write_trace(path, self.chrome_trace())
 
     def __repr__(self):
         return (f"<FleetResult {self.campaign.name!r} "
@@ -104,6 +131,96 @@ def default_chunksize(ntasks, nworkers):
     return max(1, min(8, ntasks // (nworkers * 4)))
 
 
+def _task_cycles(res):
+    """Best-effort simulated-cycle count of one task result (metrics
+    snapshot only; the deterministic report never reads this)."""
+    payload = res.payload or {}
+    ncycles = payload.get("ncycles")
+    if isinstance(ncycles, dict):
+        return sum(int(v) for v in ncycles.values())
+    if isinstance(ncycles, (int, float)):
+        return int(ncycles)
+    metrics = payload.get("metrics")
+    if isinstance(metrics, dict):
+        return int(metrics.get("ncycles", 0))
+    return 0
+
+
+def _percentile(values, q):
+    """Nearest-rank percentile of a non-empty list."""
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1,
+                      int(round(q * (len(ordered) - 1)))))
+    return ordered[rank]
+
+
+def _kind_stats(results):
+    """Per-task-kind duration percentiles (wall-clock side-channel)."""
+    by_kind = {}
+    for res in results:
+        by_kind.setdefault(res.kind, []).append(res.elapsed)
+    return {
+        kind: {
+            "count": len(durations),
+            "p50": _percentile(durations, 0.50),
+            "p95": _percentile(durations, 0.95),
+            "max": max(durations),
+            "total": sum(durations),
+        }
+        for kind, durations in sorted(by_kind.items())
+    }
+
+
+# -- observability side-channel (worker side) ---------------------------------
+
+
+class _ObsSink:
+    """Per-worker observability state.
+
+    Arms a process-local tracer (when tracing), accumulates worker-
+    lifetime totals, and ships span batches + metrics snapshots after
+    every task via ``put`` (a manager-queue ``put`` in pool workers,
+    the collector's ``on_message`` inline).  Shipping is exception-
+    guarded: observability must never take down a worker.
+    """
+
+    def __init__(self, put, trace, capacity=65536):
+        self.put = put
+        self.done = 0
+        self.failed = 0
+        self.cycles = 0
+        self.counters = {}
+        self.tracer = None
+        if trace:
+            from ..telemetry import tracing
+            self.tracer = tracing.arm(capacity=capacity)
+
+    def after_task(self, res):
+        from .live import worker_snapshot
+        self.done += 1
+        if res.status != "ok":
+            self.failed += 1
+        self.cycles += _task_cycles(res)
+        for name, value in (res.telemetry or {}).get(
+                "counters", {}).items():
+            self.counters[name] = self.counters.get(name, 0) \
+                + int(value)
+        pid = os.getpid()
+        try:
+            tracer = self.tracer
+            if tracer is not None:
+                if tracer.dropped:
+                    self.put(("dropped", pid, tracer.dropped))
+                    tracer.dropped = 0
+                records = tracer.drain()
+                if records:
+                    self.put(("spans", pid, records))
+            self.put(("metrics", pid, worker_snapshot(
+                self.done, self.failed, self.cycles, self.counters)))
+        except Exception:
+            pass
+
+
 # -- worker side --------------------------------------------------------------
 #
 # Pool workers receive the campaign-wide invariants once (initializer)
@@ -111,17 +228,37 @@ def default_chunksize(ntasks, nworkers):
 # pool initializers/workers must be module-level picklables.
 
 _WORKER_CTX = None
+_WORKER_OBS = None
 
 
-def _init_worker(campaign_seed, artifact_dir, cache_dir):
-    global _WORKER_CTX
+def _init_worker(campaign_seed, artifact_dir, cache_dir,
+                 obs_queue=None, trace=False, trace_capacity=65536):
+    global _WORKER_CTX, _WORKER_OBS
     if cache_dir:
         os.environ["SIMJIT_CACHE_DIR"] = cache_dir
     _WORKER_CTX = FleetContext(campaign_seed, artifact_dir)
+    _WORKER_OBS = None
+    if obs_queue is not None:
+        _WORKER_OBS = _ObsSink(obs_queue.put, trace,
+                               capacity=trace_capacity)
 
 
 def _execute(task):
-    return task.execute(_WORKER_CTX.campaign_seed, _WORKER_CTX)
+    res = task.execute(_WORKER_CTX.campaign_seed, _WORKER_CTX)
+    if _WORKER_OBS is not None:
+        _WORKER_OBS.after_task(res)
+    return res
+
+
+def _drain(obs_queue, collector):
+    """Feed everything currently in the side-channel queue to the
+    collector (parent side, non-blocking)."""
+    while True:
+        try:
+            msg = obs_queue.get_nowait()
+        except queue_mod.Empty:
+            return
+        collector.on_message(msg)
 
 
 def _start_method(requested):
@@ -133,7 +270,8 @@ def _start_method(requested):
 
 def run_campaign(campaign, nworkers=None, chunksize=None,
                  artifact_dir=None, start_method=None,
-                 simjit_cache_dir=None):
+                 simjit_cache_dir=None, trace=False, progress=None,
+                 trace_capacity=65536):
     """Run every task of ``campaign`` and aggregate the results.
 
     ``nworkers=None`` uses one worker per usable CPU; ``nworkers <= 1``
@@ -142,6 +280,14 @@ def run_campaign(campaign, nworkers=None, chunksize=None,
     ``artifact_dir`` receives failure artifacts (shrunk repros, observe
     bundles).  ``simjit_cache_dir`` overrides the shared ``.so`` cache
     location for workers (defaults to the inherited environment).
+
+    ``trace=True`` arms host-span tracing in every worker and merges
+    the streamed spans into :attr:`FleetResult.trace` (a
+    :class:`~repro.fleet.live.LiveCollector`); ``progress`` is an
+    optional callable invoked with the collector as messages and
+    results arrive (e.g. :class:`~repro.fleet.live.Ticker`).  Both are
+    pure side-channel: the ``repro-fleet-v1`` report bytes are
+    identical with or without them.
 
     Returns a :class:`FleetResult`; never raises for task-level
     failures (see ``result.report["status"]`` / ``.failures``).
@@ -156,23 +302,47 @@ def run_campaign(campaign, nworkers=None, chunksize=None,
     if artifact_dir:
         os.makedirs(artifact_dir, exist_ok=True)
 
+    collector = None
+    if trace or progress is not None:
+        from .live import LiveCollector
+        collector = LiveCollector(ntasks=ntasks, progress=progress)
+
     start = perf_counter()
     if nworkers <= 1:
-        ctx = FleetContext(campaign.seed, artifact_dir)
-        if simjit_cache_dir:
-            os.environ["SIMJIT_CACHE_DIR"] = simjit_cache_dir
-        results = [task.execute(campaign.seed, ctx)
-                   for task in campaign.tasks]
+        results = _run_inline(campaign, artifact_dir, simjit_cache_dir,
+                              collector, trace, trace_capacity)
     else:
         chunksize = (default_chunksize(ntasks, nworkers)
                      if chunksize is None else max(1, int(chunksize)))
         mp = multiprocessing.get_context(_start_method(start_method))
         cache_dir = simjit_cache_dir or os.environ.get("SIMJIT_CACHE_DIR")
-        with mp.Pool(nworkers, initializer=_init_worker,
-                     initargs=(campaign.seed, artifact_dir,
-                               cache_dir)) as pool:
-            results = list(pool.imap_unordered(
-                _execute, campaign.tasks, chunksize=chunksize))
+        obs_queue = None
+        manager = None
+        if collector is not None:
+            # A manager queue (not mp.Queue) because only proxy
+            # objects survive the trip through Pool initargs.
+            manager = mp.Manager()
+            obs_queue = manager.Queue()
+        try:
+            with mp.Pool(nworkers, initializer=_init_worker,
+                         initargs=(campaign.seed, artifact_dir,
+                                   cache_dir, obs_queue, trace,
+                                   trace_capacity)) as pool:
+                results = []
+                for res in pool.imap_unordered(
+                        _execute, campaign.tasks, chunksize=chunksize):
+                    results.append(res)
+                    if collector is not None:
+                        _drain(obs_queue, collector)
+                        collector.task_finished(res)
+                if collector is not None:
+                    # Workers put before returning a result, so by the
+                    # time every result has arrived the queue holds
+                    # every message; one last sweep empties it.
+                    _drain(obs_queue, collector)
+        finally:
+            if manager is not None:
+                manager.shutdown()
     elapsed = perf_counter() - start
 
     report = aggregate(campaign, results)
@@ -183,5 +353,38 @@ def run_campaign(campaign, nworkers=None, chunksize=None,
         "workers_used": sorted({r.worker for r in results
                                 if r.worker is not None}),
         "task_elapsed": {r.task_id: r.elapsed for r in results},
+        "task_kinds": _kind_stats(results),
     }
-    return FleetResult(campaign, results, report, stats)
+    return FleetResult(campaign, results, report, stats,
+                       trace=collector if trace else None)
+
+
+def _run_inline(campaign, artifact_dir, simjit_cache_dir, collector,
+                trace, trace_capacity):
+    """The ``nworkers <= 1`` path: same execute/observe pipeline, no
+    pool, messages fed straight into the collector."""
+    from ..telemetry import tracing
+
+    ctx = FleetContext(campaign.seed, artifact_dir)
+    if simjit_cache_dir:
+        os.environ["SIMJIT_CACHE_DIR"] = simjit_cache_dir
+    sink = None
+    prev_tracer = tracing.active() if trace else None
+    if collector is not None:
+        sink = _ObsSink(collector.on_message, trace,
+                        capacity=trace_capacity)
+    try:
+        results = []
+        for task in campaign.tasks:
+            res = task.execute(campaign.seed, ctx)
+            if sink is not None:
+                sink.after_task(res)
+            if collector is not None:
+                collector.task_finished(res)
+            results.append(res)
+        return results
+    finally:
+        if trace:
+            tracing.disarm()
+            if prev_tracer is not None:
+                tracing.arm(prev_tracer)

@@ -85,8 +85,17 @@ class NetworkTrafficHarness:
         measured.  After ``ncycles``, injection stops and up to
         ``drain`` extra cycles let in-flight packets arrive.
         """
+        from time import perf_counter_ns
+
+        from ..telemetry import tracing
+
         net, sim, rng = self.net, self.sim, self.rng
         sim.reset()
+        # The harness drives per-cycle, so the simulator's own batch
+        # instrumentation never fires; the whole measurement+drain
+        # loop is one honest "sim.run" span instead.
+        tracer = tracing.active()
+        t0 = perf_counter_ns() if tracer is not None else 0
         stats = TrafficStats(nterminals=self.nterminals)
         pending = [None] * self.nterminals    # staged packet per input
 
@@ -142,6 +151,10 @@ class NetworkTrafficHarness:
             step()
 
         stats.ncycles = ncycles
+        if tracer is not None:
+            tracer.add_span("sim.run", t0, perf_counter_ns(),
+                            design=type(net).__name__,
+                            ncycles=sim.ncycles)
         return stats
 
     def send_single(self, src, dest, max_cycles=200):

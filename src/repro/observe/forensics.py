@@ -35,8 +35,8 @@ import os
 
 SCHEMA = "repro-observe-v1"
 
-__all__ = ["SCHEMA", "export_bundle", "crash_bundle", "load_bundle",
-           "read_manifest"]
+__all__ = ["SCHEMA", "attach_trace", "export_bundle", "crash_bundle",
+           "load_bundle", "read_manifest"]
 
 
 def _resolve_dir(out_dir):
@@ -163,14 +163,54 @@ def read_manifest(path):
     Unlike :func:`load_bundle`, the window entries stay as dicts, so
     the result is directly re-serializable — the form the fleet
     aggregator embeds into ``repro-fleet-v1`` failure diagnostics.
+
+    Raises :class:`FileNotFoundError` for a missing file and
+    :class:`ValueError` for unparseable JSON (truncated bundles — note
+    ``json.JSONDecodeError`` is a ``ValueError``), a non-object
+    manifest, or a schema-version mismatch.
     """
     with open(path) as f:
         manifest = json.load(f)
+    if not isinstance(manifest, dict):
+        raise ValueError(
+            f"{path}: manifest must be a JSON object, got "
+            f"{type(manifest).__name__}")
     if manifest.get("schema") != SCHEMA:
         raise ValueError(
             f"{path}: schema {manifest.get('schema')!r} is not "
             f"{SCHEMA!r}")
     return manifest
+
+
+def attach_trace(manifest_path, records, name=None):
+    """Attach a host-span trace to an exported bundle.
+
+    ``records`` are raw tracing records (see
+    :mod:`repro.telemetry.tracing`); they are serialized as a sibling
+    ``<bundle>.trace.json`` Chrome trace and referenced from the
+    manifest's ``"trace"`` key, so a failure bundle carries the
+    host-side timeline (elaborate/compile/run/shrink phases) that led
+    up to the divergence.  Returns the trace path.
+    """
+    from ..telemetry import traceevent
+    from ..telemetry.tracing import spans_to_events
+
+    manifest = read_manifest(manifest_path)
+    base, _ = os.path.splitext(manifest_path)
+    trace_path = base + ".trace.json"
+    pids = sorted({r["pid"] for r in records})
+    events = []
+    for pid in pids:
+        events.append(traceevent.process_name(
+            pid, name or f"task (pid {pid})"))
+    events.extend(spans_to_events(list(records)))
+    traceevent.write_trace(trace_path, traceevent.trace_object(
+        events, metadata={"unit": "1us = 1us host wall clock"}))
+    manifest["trace"] = os.path.basename(trace_path)
+    with open(manifest_path, "w") as f:
+        json.dump(manifest, f, indent=1)
+        f.write("\n")
+    return trace_path
 
 
 def load_bundle(path):

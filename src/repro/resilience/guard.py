@@ -24,6 +24,7 @@ from time import perf_counter
 
 from .warnings import warn_resilience
 from ..core.simulation import SimulationError
+from ..telemetry import tracing
 
 __all__ = [
     "Watchdog",
@@ -167,6 +168,8 @@ class Watchdog:
             if (self.max_wall_seconds is not None
                     and perf_counter() - self._start
                         > self.max_wall_seconds):
+                tracing.instant("watchdog.fire", kind="wall-clock",
+                                cycle=sim.ncycles)
                 self._export_trip_bundle("wall-clock")
                 diag = self.diagnostics()
                 raise WatchdogTimeout(
@@ -175,6 +178,8 @@ class Watchdog:
                     f"{sim.ncycles - start_cycle} cycles", diag)
             if (self.max_cycles is not None
                     and sim.ncycles - start_cycle >= self.max_cycles):
+                tracing.instant("watchdog.fire", kind="cycle-budget",
+                                cycle=sim.ncycles)
                 self._export_trip_bundle("cycle-budget")
                 diag = self.diagnostics()
                 raise WatchdogTimeout(

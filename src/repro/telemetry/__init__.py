@@ -13,6 +13,7 @@ See TUTORIAL.md chapter 8 and DESIGN.md section 1.7.
 
 from __future__ import annotations
 
+from . import traceevent, tracing
 from .counters import (
     Counter,
     Histogram,
@@ -22,6 +23,7 @@ from .counters import (
 )
 from .export import Telemetry, TelemetryReport
 from .profile import ActivityReport, SimProfiler
+from .tracing import Tracer
 from .txtrace import Tap, TxTracer
 
 __all__ = [
@@ -33,7 +35,10 @@ __all__ = [
     "Tap",
     "Telemetry",
     "TelemetryReport",
+    "Tracer",
     "TxTracer",
     "enabled",
     "set_enabled",
+    "traceevent",
+    "tracing",
 ]

@@ -15,6 +15,7 @@ Two views of a run:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 
@@ -49,9 +50,20 @@ PHASES = ("settle_pre", "hooks", "tick", "flop", "settle_post")
 class SimProfiler:
     """Accumulates host-time attribution for a profiled simulation.
 
-    The simulator drives it: :meth:`add_block` after every timed block
-    call, :meth:`add_phases` once per cycle.  All bookkeeping is plain
-    dict/float math so the profiled run stays representative.
+    Two feeding paths:
+
+    - the interpreted profiled cycle loop calls :meth:`add_block`
+      after every timed block call and :meth:`add_span` once per
+      phase per cycle (plain dict/float math so the profiled run
+      stays representative);
+    - :meth:`ingest_spans` / :meth:`from_tracer` fold records from
+      :mod:`repro.telemetry.tracing` into the same phase table —
+      self-time per span name, cycle counts from ``sim.run`` span
+      attributes — so phase attribution works identically for SimJIT
+      runs, where the interpreted per-cycle path never executes.
+
+    :meth:`add_phases` (one kwargs call per cycle) is the legacy
+    ad-hoc timing entry point, kept as a deprecated shim.
     """
 
     def __init__(self):
@@ -68,13 +80,68 @@ class SimProfiler:
             entry[0] += 1
             entry[1] += dt
 
+    def add_span(self, name, seconds, cycles=0):
+        """Attribute ``seconds`` of host time to phase ``name``
+        (created on first use), advancing the cycle count by
+        ``cycles``."""
+        self.phase_time[name] = self.phase_time.get(name, 0.0) + seconds
+        self.total_time += seconds
+        self.cycles += cycles
+
     def add_phases(self, **phases):
-        total = 0.0
-        for name, dt in phases.items():
-            self.phase_time[name] += dt
-            total += dt
-        self.cycles += 1
-        self.total_time += total
+        """Deprecated: use :meth:`add_span` per phase (the simulator's
+        profiled cycle loop does) or :meth:`ingest_spans`.  One call
+        still counts one cycle."""
+        warnings.warn(
+            "SimProfiler.add_phases is deprecated; use add_span / "
+            "ingest_spans (span-fed phase attribution)",
+            DeprecationWarning, stacklevel=2)
+        for i, (name, dt) in enumerate(phases.items()):
+            self.add_span(name, dt, cycles=1 if i == 0 else 0)
+
+    def ingest_spans(self, records, cycles_from=("sim.run",)):
+        """Fold tracing records into the phase table.
+
+        Each ``X`` record contributes its **self time** (duration
+        minus enclosed child spans, computed per ``(pid, tid)`` by
+        interval containment) under its span name; records named in
+        ``cycles_from`` also contribute their ``ncycles`` argument to
+        the cycle count.  Returns self.
+        """
+        by_thread = {}
+        for rec in records:
+            if rec.get("ph", "X") != "X":
+                continue
+            by_thread.setdefault(
+                (rec["pid"], rec["tid"]), []).append(rec)
+        for recs in by_thread.values():
+            # Parent spans start no later and end no earlier than
+            # their children: sort by (start, -duration) so parents
+            # precede children, then walk with a containment stack.
+            recs.sort(key=lambda r: (r["ts"], -r["dur"]))
+            self_ns = {}
+            stack = []
+            for rec in recs:
+                end = rec["ts"] + rec["dur"]
+                while stack and rec["ts"] >= stack[-1][1]:
+                    stack.pop()
+                if stack:
+                    self_ns[stack[-1][2]] -= rec["dur"]
+                self_ns[id(rec)] = rec["dur"]
+                stack.append((rec["ts"], end, id(rec)))
+            for rec in recs:
+                args = rec.get("args") or {}
+                cycles = (int(args.get("ncycles", 0))
+                          if rec["name"] in cycles_from else 0)
+                self.add_span(rec["name"], self_ns[id(rec)] / 1e9,
+                              cycles=cycles)
+        return self
+
+    @classmethod
+    def from_tracer(cls, tracer, cycles_from=("sim.run",)):
+        """Build a profiler from a :class:`~repro.telemetry.tracing.
+        Tracer`'s retained records."""
+        return cls().ingest_spans(tracer.events, cycles_from=cycles_from)
 
     @property
     def cycles_per_sec(self):
@@ -121,8 +188,9 @@ class SimProfiler:
             "phase breakdown:",
         ]
         total = max(rep["host_seconds"], 1e-12)
-        for name in PHASES:
-            dt = rep["phase_seconds"][name]
+        extra = sorted(set(rep["phase_seconds"]) - set(PHASES))
+        for name in (*PHASES, *extra):
+            dt = rep["phase_seconds"].get(name, 0.0)
             lines.append(
                 f"  {name:<12} {dt:8.4f}s  {100.0 * dt / total:5.1f}%")
         lines.append("hottest blocks (host time):")

@@ -1,0 +1,214 @@
+"""Shared Chrome trace-event serialization.
+
+One schema, one writer: every trace the framework emits — transaction
+timelines from :class:`~repro.telemetry.txtrace.TxTracer`, host-side
+span timelines from :mod:`repro.telemetry.tracing`, and merged fleet
+campaign traces from :mod:`repro.fleet.live` — is built from the
+constructors here and written by :func:`write_trace`, so a single
+golden test pins the wire format and every producer stays loadable in
+Perfetto (https://ui.perfetto.dev) or ``chrome://tracing``.
+
+The format is the Chrome trace-event JSON Object Format::
+
+    {"traceEvents": [...], "displayTimeUnit": "ms", "metadata": {...}}
+
+Event phases used by this codebase:
+
+=====  =========================  ==========================
+phase  constructor                meaning
+=====  =========================  ==========================
+``M``  process_name/thread_name   track naming metadata
+``X``  :func:`complete`           a slice with ``ts`` + ``dur``
+``b``  :func:`async_begin`        async arrow start (id-matched)
+``e``  :func:`async_end`          async arrow end
+``i``  :func:`instant`            zero-duration marker
+``C``  :func:`counter`            sampled counter track
+=====  =========================  ==========================
+
+Timestamps (``ts``/``dur``) are **microseconds** by convention of the
+format; producers choose the mapping (the transaction tracer maps one
+simulated cycle to 1us, the span tracer divides wall-clock ns by 1e3).
+:func:`validate` checks an assembled trace object against this schema
+and is what the CI trace job runs over merged campaign traces.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "async_begin",
+    "async_end",
+    "complete",
+    "counter",
+    "instant",
+    "process_name",
+    "process_sort_index",
+    "thread_name",
+    "trace_object",
+    "validate",
+    "write_trace",
+]
+
+
+# -- event constructors -------------------------------------------------------
+
+
+def process_name(pid, name):
+    """``M`` metadata event naming a pid track."""
+    return {"ph": "M", "pid": pid, "tid": 0, "name": "process_name",
+            "args": {"name": name}}
+
+
+def process_sort_index(pid, index):
+    """``M`` metadata event pinning a pid track's display order."""
+    return {"ph": "M", "pid": pid, "tid": 0, "name": "process_sort_index",
+            "args": {"sort_index": index}}
+
+
+def thread_name(pid, tid, name):
+    """``M`` metadata event naming a tid track within a pid."""
+    return {"ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+            "args": {"name": name}}
+
+
+def complete(name, pid, tid, ts, dur, cat=None, args=None):
+    """``X`` complete event: a slice from ``ts`` lasting ``dur`` us."""
+    event = {"ph": "X", "pid": pid, "tid": tid,
+             "ts": ts, "dur": dur, "name": name}
+    if cat is not None:
+        event["cat"] = cat
+    if args is not None:
+        event["args"] = args
+    return event
+
+
+def instant(name, pid, tid, ts, cat=None, args=None, scope="t"):
+    """``i`` instant event (``scope``: t=thread, p=process, g=global)."""
+    event = {"ph": "i", "pid": pid, "tid": tid,
+             "ts": ts, "name": name, "s": scope}
+    if cat is not None:
+        event["cat"] = cat
+    if args is not None:
+        event["args"] = args
+    return event
+
+
+def async_begin(name, pid, tid, ts, id, cat, args=None):
+    """``b`` async-span begin; pairs with :func:`async_end` on
+    ``(cat, id)``."""
+    event = {"ph": "b", "pid": pid, "tid": tid,
+             "ts": ts, "name": name, "cat": cat, "id": id}
+    if args is not None:
+        event["args"] = args
+    return event
+
+
+def async_end(name, pid, tid, ts, id, cat, args=None):
+    """``e`` async-span end; pairs with :func:`async_begin`."""
+    event = {"ph": "e", "pid": pid, "tid": tid,
+             "ts": ts, "name": name, "cat": cat, "id": id}
+    if args is not None:
+        event["args"] = args
+    return event
+
+
+def counter(name, pid, ts, values, tid=0):
+    """``C`` counter sample; ``values`` maps series name -> number."""
+    return {"ph": "C", "pid": pid, "tid": tid,
+            "ts": ts, "name": name, "args": dict(values)}
+
+
+# -- assembly / io ------------------------------------------------------------
+
+
+def trace_object(events, display_time_unit="ms", metadata=None):
+    """Wrap an event list in the trace-event Object Format envelope."""
+    obj = {"traceEvents": list(events),
+           "displayTimeUnit": display_time_unit}
+    if metadata is not None:
+        obj["metadata"] = metadata
+    return obj
+
+
+def write_trace(path, trace):
+    """Serialize a trace object (or bare event list) to ``path``.
+
+    ``indent=1`` keeps files diffable without doubling their size;
+    returns ``path``.
+    """
+    if isinstance(trace, list):
+        trace = trace_object(trace)
+    with open(path, "w") as handle:
+        json.dump(trace, handle, indent=1)
+        handle.write("\n")
+    return path
+
+
+# -- validation ---------------------------------------------------------------
+
+_PHASES = {"M", "X", "b", "e", "i", "C"}
+_META_NAMES = {"process_name", "process_sort_index", "thread_name",
+               "process_labels"}
+
+
+def validate(trace):
+    """Validate a trace object against the schema this module emits.
+
+    Returns the event list on success; raises :class:`ValueError`
+    describing the first offending event otherwise.  Checks the
+    envelope, per-phase required fields, numeric timestamps, and that
+    every async ``b`` has a matching ``e`` on the same ``(cat, id)``.
+    """
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        raise ValueError("trace must be an object with 'traceEvents'")
+    events = trace["traceEvents"]
+    if not isinstance(events, list):
+        raise ValueError("'traceEvents' must be a list")
+    open_async = {}
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            raise ValueError(f"{where}: event must be an object")
+        ph = ev.get("ph")
+        if ph not in _PHASES:
+            raise ValueError(f"{where}: unknown phase {ph!r}")
+        for field in ("pid", "tid"):
+            if not isinstance(ev.get(field), int):
+                raise ValueError(f"{where}: missing/non-int {field!r}")
+        if not isinstance(ev.get("name"), str):
+            raise ValueError(f"{where}: missing event name")
+        if ph == "M":
+            if ev["name"] not in _META_NAMES:
+                raise ValueError(
+                    f"{where}: unknown metadata record {ev['name']!r}")
+            if not isinstance(ev.get("args"), dict):
+                raise ValueError(f"{where}: metadata needs args")
+            continue
+        if not isinstance(ev.get("ts"), (int, float)):
+            raise ValueError(f"{where}: missing/non-numeric ts")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"{where}: X event needs dur >= 0")
+        elif ph in ("b", "e"):
+            if "id" not in ev or "cat" not in ev:
+                raise ValueError(f"{where}: async event needs cat+id")
+            key = (ev["cat"], ev["id"])
+            if ph == "b":
+                open_async[key] = open_async.get(key, 0) + 1
+            else:
+                if open_async.get(key, 0) <= 0:
+                    raise ValueError(
+                        f"{where}: async end without begin for {key!r}")
+                open_async[key] -= 1
+        elif ph == "i":
+            if ev.get("s") not in (None, "t", "p", "g"):
+                raise ValueError(f"{where}: bad instant scope {ev['s']!r}")
+        elif ph == "C":
+            if not isinstance(ev.get("args"), dict):
+                raise ValueError(f"{where}: counter needs args")
+    dangling = sorted(k for k, n in open_async.items() if n)
+    if dangling:
+        raise ValueError(f"unclosed async span(s): {dangling}")
+    return events

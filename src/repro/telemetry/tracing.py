@@ -1,0 +1,286 @@
+"""Host-side hierarchical span tracing.
+
+Where :mod:`repro.telemetry.txtrace` observes the *design* (simulated
+cycles, val/rdy transfers), this module observes the *framework
+itself*: how long elaboration, schedule construction, SimJIT
+compilation, co-simulation phases, and ``run()`` batches take on the
+host, across threads and worker processes.  It is the observability
+spine of the fleet layer (see :mod:`repro.fleet.live`) and the metrics
+substrate the service layer will expose.
+
+Design points:
+
+- **Spans are hierarchical.**  ``with tracer.span("cosim.run"):``
+  nests: a per-thread depth counter stamps each record, and exported
+  Chrome ``X`` events nest naturally by interval containment.
+- **Monotonic clock.**  Timestamps are ``time.perf_counter_ns()``
+  integers — immune to wall-clock steps, cheap, and high-resolution.
+- **Ring-buffered.**  Records land in a ``deque(maxlen=capacity)``;
+  a long campaign can trace forever and keep the most recent window.
+  ``dropped`` counts evictions.
+- **Near-zero cost when disarmed.**  Instrumented code calls the
+  module-level :func:`span` / :func:`instant` helpers, which consult a
+  single module global; when no tracer is armed, :func:`span` returns
+  a shared no-op context manager and :func:`instant` returns
+  immediately — no allocation, no clock read.  Hot paths may also
+  check :func:`active` once per batch and skip instrumentation
+  entirely.
+- **Process-aware.**  Each record carries ``pid``/``tid``; fleet
+  workers arm a fresh tracer post-fork and stream drained records to
+  the parent, which merges them into one timeline with a pid track
+  per worker.
+
+Typical use::
+
+    from repro.telemetry import tracing
+
+    tracer = tracing.arm()              # module-global arming
+    with tracing.span("sim.run", ncycles=1000):
+        sim.run(1000)
+    tracing.instant("watchdog.fire", cycle=sim.ncycles)
+    tracing.disarm()
+    tracer.write_chrome_trace("host.trace.json")
+
+Records are plain dicts (picklable for the fleet side-channel)::
+
+    {"name": str, "ph": "X"|"i", "ts": ns, "dur": ns (X only),
+     "pid": int, "tid": int, "depth": int, "args": dict|None}
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import deque
+from time import perf_counter_ns
+
+from . import traceevent
+
+__all__ = ["Tracer", "active", "arm", "disarm", "instant", "span"]
+
+
+class _Span:
+    """Context manager recording one complete span on exit.
+
+    Returned by :meth:`Tracer.span`; also exposes :meth:`set` so
+    instrumented code can attach attributes discovered mid-span
+    (e.g. a task's final status)."""
+
+    __slots__ = ("_tracer", "_name", "_args", "_t0", "_depth")
+
+    def __init__(self, tracer, name, args):
+        self._tracer = tracer
+        self._name = name
+        self._args = args
+
+    def set(self, **attrs):
+        """Attach/overwrite span attributes; returns self."""
+        if self._args is None:
+            self._args = {}
+        self._args.update(attrs)
+        return self
+
+    def __enter__(self):
+        tls = self._tracer._tls
+        self._depth = getattr(tls, "depth", 0)
+        tls.depth = self._depth + 1
+        self._t0 = perf_counter_ns()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        t1 = perf_counter_ns()
+        tracer = self._tracer
+        tracer._tls.depth = self._depth
+        if exc_type is not None:
+            self.set(error=exc_type.__name__)
+        tracer._append({
+            "name": self._name, "ph": "X",
+            "ts": self._t0, "dur": t1 - self._t0,
+            "pid": tracer.pid, "tid": threading.get_ident(),
+            "depth": self._depth, "args": self._args,
+        })
+        return False
+
+
+class _NullSpan:
+    """Shared do-nothing span for the disarmed path."""
+
+    __slots__ = ()
+
+    def set(self, **attrs):
+        return self
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Ring-buffered span/instant recorder for one process.
+
+    Thread-safe for recording (deque appends are atomic; per-thread
+    nesting state lives in a ``threading.local``).  ``capacity`` bounds
+    retained records; the oldest are evicted (counted in ``dropped``).
+    """
+
+    def __init__(self, capacity=65536):
+        self.capacity = int(capacity)
+        self.pid = os.getpid()
+        self.dropped = 0
+        self._events = deque(maxlen=self.capacity)
+        self._tls = threading.local()
+
+    # -- recording --------------------------------------------------------
+
+    def span(self, name, **attrs):
+        """Context manager timing a hierarchical span."""
+        return _Span(self, name, attrs or None)
+
+    def instant(self, name, **attrs):
+        """Record a zero-duration marker at now."""
+        tls = self._tls
+        self._append({
+            "name": name, "ph": "i", "ts": perf_counter_ns(),
+            "pid": self.pid, "tid": threading.get_ident(),
+            "depth": getattr(tls, "depth", 0),
+            "args": attrs or None,
+        })
+
+    def add_span(self, name, t0_ns, t1_ns, **attrs):
+        """Record an externally-timed span (ns timestamps from
+        ``perf_counter_ns``) — used by timers that predate the tracer,
+        e.g. the SimJIT phase timer."""
+        tls = self._tls
+        self._append({
+            "name": name, "ph": "X", "ts": int(t0_ns),
+            "dur": int(t1_ns) - int(t0_ns),
+            "pid": self.pid, "tid": threading.get_ident(),
+            "depth": getattr(tls, "depth", 0),
+            "args": attrs or None,
+        })
+
+    def _append(self, record):
+        events = self._events
+        if len(events) == events.maxlen:
+            self.dropped += 1
+        events.append(record)
+
+    # -- reading ----------------------------------------------------------
+
+    @property
+    def events(self):
+        """Snapshot of retained records (oldest first)."""
+        return list(self._events)
+
+    def __len__(self):
+        return len(self._events)
+
+    def drain(self):
+        """Pop and return all retained records — the fleet workers'
+        streaming primitive (drain after each task, ship the batch)."""
+        out = []
+        events = self._events
+        while events:
+            try:
+                out.append(events.popleft())
+            except IndexError:    # racing drainer; nothing left
+                break
+        return out
+
+    # -- export -----------------------------------------------------------
+
+    def chrome_events(self, base_ns=None):
+        """Convert records to Chrome trace events (us timestamps).
+
+        ``base_ns`` rebases timestamps (defaults to the earliest
+        record) so traces start near t=0.
+        """
+        return spans_to_events(self.events, base_ns=base_ns)
+
+    def chrome_trace(self, name="repro-host"):
+        """Full trace object: pid/tid naming metadata + events."""
+        records = self.events
+        events = [traceevent.process_name(self.pid, name)]
+        for tid in sorted({r["tid"] for r in records}):
+            events.append(traceevent.thread_name(
+                self.pid, tid, f"thread {tid}"))
+        events.extend(spans_to_events(records))
+        return traceevent.trace_object(
+            events, metadata={"unit": "1us = 1us host wall clock"})
+
+    def write_chrome_trace(self, path, name="repro-host"):
+        return traceevent.write_trace(path, self.chrome_trace(name))
+
+
+def spans_to_events(records, base_ns=None):
+    """Map raw span/instant records to Chrome trace events.
+
+    Pure and reusable: the fleet collector calls this per worker with
+    a campaign-wide ``base_ns`` so all pid tracks share one timeline.
+    """
+    if base_ns is None:
+        base_ns = min((r["ts"] for r in records), default=0)
+    events = []
+    for r in records:
+        ts = (r["ts"] - base_ns) / 1e3
+        if r["ph"] == "i":
+            events.append(traceevent.instant(
+                r["name"], r["pid"], r["tid"], ts,
+                cat="host", args=r["args"]))
+        else:
+            events.append(traceevent.complete(
+                r["name"], r["pid"], r["tid"], ts, r["dur"] / 1e3,
+                cat="host", args=r["args"]))
+    return events
+
+
+# -- module-global arming -----------------------------------------------------
+#
+# Instrumented code throughout the framework calls the module-level
+# helpers; a single global keeps the disarmed fast path to one
+# attribute load and one comparison.
+
+_ACTIVE = None
+
+
+def arm(tracer=None, capacity=65536):
+    """Install ``tracer`` (or a fresh one) as the process-wide active
+    tracer; returns it."""
+    global _ACTIVE
+    if tracer is None:
+        tracer = Tracer(capacity=capacity)
+    _ACTIVE = tracer
+    return tracer
+
+
+def disarm():
+    """Deactivate tracing; returns the previously active tracer (or
+    ``None``)."""
+    global _ACTIVE
+    tracer, _ACTIVE = _ACTIVE, None
+    return tracer
+
+
+def active():
+    """The armed :class:`Tracer`, or ``None`` when disarmed."""
+    return _ACTIVE
+
+
+def span(name, **attrs):
+    """Open a span on the active tracer; no-op context when disarmed."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+def instant(name, **attrs):
+    """Record an instant on the active tracer; no-op when disarmed."""
+    tracer = _ACTIVE
+    if tracer is not None:
+        tracer.instant(name, **attrs)

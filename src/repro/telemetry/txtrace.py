@@ -32,7 +32,7 @@ Typical use::
 
 from __future__ import annotations
 
-import json
+from . import traceevent
 
 __all__ = ["TxTracer", "Tap"]
 
@@ -259,54 +259,35 @@ class TxTracer:
 
         One simulated cycle maps to 1us of trace time; each tap is a
         thread (track), transfers are ``X`` complete events, matched
-        pairs are ``b``/``e`` async spans.
+        pairs are ``b``/``e`` async spans.  All events come from the
+        shared :mod:`~repro.telemetry.traceevent` serializer.
         """
-        events = [{
-            "ph": "M", "pid": 0, "tid": 0, "name": "process_name",
-            "args": {"name": "repro-sim"},
-        }]
+        events = [traceevent.process_name(0, "repro-sim")]
         for tid, tap in enumerate(self.taps, start=1):
-            events.append({
-                "ph": "M", "pid": 0, "tid": tid, "name": "thread_name",
-                "args": {"name": tap.name},
-            })
+            events.append(traceevent.thread_name(0, tid, tap.name))
             for cycle, msg in tap.transfers:
-                events.append({
-                    "ph": "X", "pid": 0, "tid": tid,
-                    "ts": float(cycle), "dur": 1.0,
-                    "name": "xfer", "cat": "valrdy",
-                    "args": {"msg": f"{msg:#x}", "cycle": cycle},
-                })
+                events.append(traceevent.complete(
+                    "xfer", 0, tid, float(cycle), 1.0, cat="valrdy",
+                    args={"msg": f"{msg:#x}", "cycle": cycle}))
         span_id = 0
         for name, src_tap, dst_tap, _ in self.pairs:
             for key, src_cycle, dst_cycle in self.matched_spans(name):
                 span_id += 1
-                common = {
-                    "pid": 0, "cat": "latency", "name": name,
-                    "id": span_id,
-                }
-                events.append({**common, "ph": "b",
-                               "tid": self._tid(src_tap),
-                               "ts": float(src_cycle),
-                               "args": {"key": str(key)}})
-                events.append({**common, "ph": "e",
-                               "tid": self._tid(dst_tap),
-                               "ts": float(dst_cycle)})
-        return {
-            "traceEvents": events,
-            "displayTimeUnit": "ms",
-            "metadata": {"unit": "1us = 1 simulated cycle"},
-        }
+                events.append(traceevent.async_begin(
+                    name, 0, self._tid(src_tap), float(src_cycle),
+                    span_id, cat="latency", args={"key": str(key)}))
+                events.append(traceevent.async_end(
+                    name, 0, self._tid(dst_tap), float(dst_cycle),
+                    span_id, cat="latency"))
+        return traceevent.trace_object(
+            events, metadata={"unit": "1us = 1 simulated cycle"})
 
     def _tid(self, tap):
         return self.taps.index(tap) + 1
 
     def write_chrome_trace(self, path):
         """Serialize :meth:`chrome_trace` to ``path``; returns it."""
-        with open(path, "w") as handle:
-            json.dump(self.chrome_trace(), handle, indent=1)
-            handle.write("\n")
-        return path
+        return traceevent.write_trace(path, self.chrome_trace())
 
     def summary(self):
         """Structured per-tap / per-pair summary (telemetry schema)."""

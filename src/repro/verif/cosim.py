@@ -32,7 +32,10 @@ an optional ``final_state`` function compared across DUTs at the end.
 
 from __future__ import annotations
 
+from time import perf_counter_ns
+
 from ..core import SimulationTool
+from ..telemetry import tracing
 from .coverage import Coverage
 from .monitors import ValRdyMonitor
 from .strategies import backpressure_pattern
@@ -228,13 +231,14 @@ class CoSimHarness:
         armed (and a ``bundle_dir``/autodump destination configured),
         ``exc.bundles`` maps DUT names to exported forensics bundles.
         """
-        try:
-            return self._run(stimulus, max_cycles, backpressure,
-                             presence, drain)
-        except CoSimMismatch as exc:
-            if not exc.bundles:
-                exc.bundles = self._divergence_bundles(exc)
-            raise
+        with tracing.span("cosim.run", duts=len(self.duts)):
+            try:
+                return self._run(stimulus, max_cycles, backpressure,
+                                 presence, drain)
+            except CoSimMismatch as exc:
+                if not exc.bundles:
+                    exc.bundles = self._divergence_bundles(exc)
+                raise
 
     def _run(self, stimulus, max_cycles, backpressure, presence, drain):
         backpressure = backpressure or backpressure_pattern("always")
@@ -246,39 +250,62 @@ class CoSimHarness:
             st.drain0 = st.drain_left = drain
             st.sim.reset()
 
-        cycle = 0
-        while not all(st.finished for st in states):
-            if cycle >= max_cycles:
-                pending = {
-                    st.adapter.name: [
-                        f"{ch.name}:{idx}/{len(p)}"
-                        for ch, p, idx, _ in st.drives]
-                    for st in states if not st.finished}
-                raise CoSimTimeout(
-                    f"co-simulation did not finish in {max_cycles} "
-                    f"cycles (pending stimulus: {pending})")
+        # One span per phase — drive (the per-cycle stimulus loop with
+        # online diffing), diff (final-state + protocol comparison),
+        # capture (result harvesting) — at loop granularity so the
+        # per-cycle path stays uninstrumented.  The drive loop
+        # advances every DUT simulator one cycle at a time, so the
+        # per-call ``sim.run`` instrumentation never fires; instead
+        # each DUT gets one synthesized ``sim.run`` span covering the
+        # drive window (its simulator genuinely ran for exactly that
+        # wall interval and cycle count).
+        with tracing.span("cosim.drive") as drive_span:
+            tracer = tracing.active()
+            t0 = perf_counter_ns() if tracer is not None else 0
+            cycle = 0
+            while not all(st.finished for st in states):
+                if cycle >= max_cycles:
+                    pending = {
+                        st.adapter.name: [
+                            f"{ch.name}:{idx}/{len(p)}"
+                            for ch, p, idx, _ in st.drives]
+                        for st in states if not st.finished}
+                    raise CoSimTimeout(
+                        f"co-simulation did not finish in {max_cycles} "
+                        f"cycles (pending stimulus: {pending})")
+                for st in states:
+                    if not st.finished:
+                        self._step(st, cycle, backpressure, presence,
+                                   result)
+                self._compare_online(states)
+                cycle += 1
+            drive_span.set(ncycles=cycle)
+            if tracer is not None:
+                t1 = perf_counter_ns()
+                for st in states:
+                    tracer.add_span("sim.run", t0, t1,
+                                    design=st.adapter.name,
+                                    ncycles=st.sim.ncycles)
+
+        with tracing.span("cosim.diff"):
+            self._compare_final(states, result)
+            if self.check_protocol:
+                violations = [
+                    v for st in states for mon in st.monitors.values()
+                    for v in mon.violations]
+                if violations:
+                    raise CoSimProtocolError(
+                        "protocol violations:\n  " + "\n  ".join(
+                            str(v) for v in violations), violations)
+
+        with tracing.span("cosim.capture"):
             for st in states:
-                if not st.finished:
-                    self._step(st, cycle, backpressure, presence, result)
-            self._compare_online(states)
-            cycle += 1
-
-        self._compare_final(states, result)
-        if self.check_protocol:
-            violations = [
-                v for st in states for mon in st.monitors.values()
-                for v in mon.violations]
-            if violations:
-                raise CoSimProtocolError(
-                    "protocol violations:\n  " + "\n  ".join(
-                        str(v) for v in violations), violations)
-
-        for st in states:
-            result.transfers[st.adapter.name] = {
-                name: list(mon.transfers)
-                for name, mon in st.monitors.items()}
-            result.ncycles[st.adapter.name] = st.sim.ncycles
-            result.final_states[st.adapter.name] = st.adapter.final_state()
+                result.transfers[st.adapter.name] = {
+                    name: list(mon.transfers)
+                    for name, mon in st.monitors.items()}
+                result.ncycles[st.adapter.name] = st.sim.ncycles
+                result.final_states[st.adapter.name] = \
+                    st.adapter.final_state()
         return result
 
     def _step(self, st, cycle, backpressure, presence, result):

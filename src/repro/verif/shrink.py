@@ -98,6 +98,8 @@ def shrink_cosim_failure(make_harness, stimulus, run_kwargs=None,
     :class:`CoSimMismatch` raised by the final shrunk run (with its
     divergence line traces).
     """
+    from ..telemetry import tracing
+
     run_kwargs = dict(run_kwargs or {})
 
     def still_fails(candidate):
@@ -109,15 +111,19 @@ def shrink_cosim_failure(make_harness, stimulus, run_kwargs=None,
             return False
         return False
 
-    if not still_fails(stimulus):
-        raise ValueError("scenario does not fail; nothing to shrink")
-    shrunk = shrink_stimulus(stimulus, still_fails, max_runs=max_runs)
-    try:
-        make_harness().run(shrunk, **run_kwargs)
-    except CoSimMismatch as exc:
-        return shrunk, exc
-    raise AssertionError(
-        "shrunk stimulus no longer fails (non-deterministic harness?)")
+    with tracing.span("cosim.shrink", max_runs=max_runs) as sp:
+        if not still_fails(stimulus):
+            raise ValueError("scenario does not fail; nothing to shrink")
+        shrunk = shrink_stimulus(stimulus, still_fails,
+                                 max_runs=max_runs)
+        sp.set(shrunk_events=sum(len(v) for v in shrunk.values()))
+        try:
+            make_harness().run(shrunk, **run_kwargs)
+        except CoSimMismatch as exc:
+            return shrunk, exc
+        raise AssertionError(
+            "shrunk stimulus no longer fails "
+            "(non-deterministic harness?)")
 
 
 _REPRO_TEMPLATE = '''\

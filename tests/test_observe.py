@@ -753,3 +753,69 @@ def test_observe_package_doctest_smoke():
     for mod in (rmod, wmod):
         result = doctest.testmod(mod)
         assert result.failed == 0
+
+
+# -- manifest error contract + trace attachment -------------------------------
+
+
+def test_read_manifest_missing_file(tmp_path):
+    from repro.observe.forensics import read_manifest
+    with pytest.raises(FileNotFoundError):
+        read_manifest(str(tmp_path / "nope.json"))
+
+
+def test_read_manifest_truncated_json(tmp_path):
+    """A bundle cut off mid-write (crashed worker, full disk) must
+    surface as ValueError, not a raw JSONDecodeError surprise — the
+    fleet aggregator catches ValueError when embedding manifests."""
+    from repro.observe.forensics import read_manifest
+    path = _make_bundle(tmp_path)
+    with open(path) as handle:
+        text = handle.read()
+    truncated = tmp_path / "truncated.json"
+    truncated.write_text(text[: len(text) // 2])
+    with pytest.raises(ValueError):
+        read_manifest(str(truncated))
+
+
+def test_read_manifest_wrong_schema(tmp_path):
+    from repro.observe.forensics import read_manifest
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": "repro-observe-v999"}))
+    with pytest.raises(ValueError, match="schema"):
+        read_manifest(str(bad))
+
+
+def test_read_manifest_non_object(tmp_path):
+    from repro.observe.forensics import read_manifest
+    bad = tmp_path / "list.json"
+    bad.write_text("[1, 2, 3]\n")
+    with pytest.raises(ValueError, match="object"):
+        read_manifest(str(bad))
+
+
+def test_attach_trace_roundtrip(tmp_path):
+    """attach_trace writes a sibling Chrome trace, references it from
+    the manifest, and the result revalidates — the path the fleet
+    uses to pin a host timeline onto a mismatch bundle."""
+    from repro.observe.forensics import attach_trace, read_manifest
+    from repro.telemetry import traceevent
+    from repro.telemetry.tracing import Tracer
+
+    path = _make_bundle(tmp_path)
+    tracer = Tracer()
+    with tracer.span("fleet.task", task="verif/demo"):
+        with tracer.span("sim.run", ncycles=10):
+            pass
+    trace_path = attach_trace(path, tracer.events, name="verif/demo")
+
+    manifest = read_manifest(path)
+    assert manifest["trace"] == os.path.basename(trace_path)
+    assert os.path.dirname(trace_path) == os.path.dirname(path)
+    with open(trace_path) as handle:
+        trace = json.load(handle)
+    events = traceevent.validate(trace)
+    names = {e["name"] for e in events if e["ph"] == "X"}
+    assert names == {"fleet.task", "sim.run"}
+    assert any(e["ph"] == "M" and e["args"]["name"] == "verif/demo"
+               for e in events)
