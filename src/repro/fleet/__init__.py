@@ -8,14 +8,26 @@ design-space benchmark points) — across worker processes and folds the
 results into one ``repro-fleet-v1`` report whose serialized bytes are
 identical for any worker count and any completion order.
 
-Four modules:
+Six modules:
 
 - :mod:`.campaign` — task specs and the failure-capture contract
   (mismatches come back as shrunk repros + observe bundles, not
-  crashes);
-- :mod:`.runner` — process-pool execution with chunked work-stealing
-  dispatch and a shared SimJIT ``.so`` cache;
-- :mod:`.aggregate` — the deterministic report fold;
+  crashes); tasks carry optional ``wall_budget``/``cycle_budget``
+  watchdog limits;
+- :mod:`.runner` — crash-isolated supervised execution: per-worker
+  pipes, dead-worker detection and respawn, per-task deadlines,
+  :class:`RetryPolicy` backoff, quarantine of worker-killing tasks
+  as structured ``"poisoned"`` results, and a shared SimJIT ``.so``
+  cache;
+- :mod:`.aggregate` — the deterministic report fold (including
+  partial/interrupted aggregation);
+- :mod:`.journal` — the write-ahead campaign journal: every
+  completed task is fsync'd to append-only JSONL, so an interrupted
+  campaign resumes (``run_campaign(..., resume=path)``) without
+  re-executing finished work and reproduces the exact report bytes;
+- :mod:`.chaos` — deterministic fault injection (worker SIGKILL,
+  hangs, allocation spikes at chosen ``(task, attempt)``
+  coordinates) for testing all of the above;
 - :mod:`.live` — the observability side-channel: merges streamed
   worker spans/metrics into live progress and one Chrome/Perfetto
   campaign trace (``run_campaign(..., trace=True)`` /
@@ -45,8 +57,10 @@ from .campaign import (
     VerifSweepTask,
     demo_campaign,
 )
+from .chaos import ChaosEvent, ChaosPlan
+from .journal import Journal, JournalError
 from .live import LiveCollector, Ticker
-from .runner import FleetContext, FleetResult, run_campaign
+from .runner import FleetContext, FleetResult, RetryPolicy, run_campaign
 
 __all__ = [
     "SCHEMA",
@@ -61,6 +75,11 @@ __all__ = [
     "demo_campaign",
     "FleetContext",
     "FleetResult",
+    "RetryPolicy",
+    "Journal",
+    "JournalError",
+    "ChaosPlan",
+    "ChaosEvent",
     "LiveCollector",
     "Ticker",
     "run_campaign",

@@ -7,6 +7,15 @@
 Writes ``report.json`` (the deterministic ``repro-fleet-v1`` report)
 plus failure artifacts into ``--out``, prints a summary table, and
 exits nonzero if any task failed.
+
+Fault-tolerance controls: ``--journal`` write-ahead-logs every
+completion; ``--resume`` picks an interrupted campaign back up from
+its journal (completed tasks are loaded, not re-executed, and the
+final report bytes match an uninterrupted run); ``--max-attempts`` /
+``--task-deadline`` configure the retry policy and per-attempt
+wall-clock ceiling; ``--chaos`` installs a deterministic sabotage
+plan (JSON, see :mod:`repro.fleet.chaos`) for exercising all of the
+above.
 """
 
 from __future__ import annotations
@@ -15,8 +24,9 @@ import argparse
 import sys
 
 from .campaign import demo_campaign
+from .chaos import ChaosPlan
 from .live import Ticker
-from .runner import run_campaign
+from .runner import RetryPolicy, run_campaign
 
 
 def main(argv=None):
@@ -35,18 +45,49 @@ def main(argv=None):
     parser.add_argument("--trace", metavar="PATH", default=None,
                         help="write the merged Chrome/Perfetto span "
                              "trace JSON here (implies tracing on)")
+    parser.add_argument("--journal", metavar="PATH", default=None,
+                        help="write-ahead journal every completed "
+                             "task to this JSONL file")
+    parser.add_argument("--resume", metavar="PATH", default=None,
+                        help="resume from (and keep journaling to) "
+                             "this journal; completed tasks are not "
+                             "re-executed")
+    parser.add_argument("--max-attempts", type=int, default=3,
+                        help="per-task attempt bound for crashes/"
+                             "deadline overruns/transient timeouts "
+                             "(default 3; 1 disables retry)")
+    parser.add_argument("--task-deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-attempt wall-clock ceiling; an "
+                             "overrunning worker is killed and the "
+                             "task retried")
+    parser.add_argument("--chaos", metavar="JSON", default=None,
+                        help="deterministic fault-injection plan "
+                             "(JSON list of events, e.g. "
+                             "'[{\"index\": 0, \"mode\": \"kill\"}]')")
     args = parser.parse_args(argv)
 
     campaign = demo_campaign(seed=args.seed, scale=args.scale)
     print(f"campaign {campaign.name!r}: {len(campaign)} tasks, "
           f"seed {campaign.seed}, {args.workers} worker(s)")
+    if args.chaos is not None:
+        plan = ChaosPlan.from_json(args.chaos).resolve(campaign)
+        plan.install()
+        print(f"chaos: {len(plan)} event(s) installed")
     ticker = Ticker() if args.live else None
+    retry = RetryPolicy(max_attempts=args.max_attempts)
     res = run_campaign(campaign, nworkers=args.workers,
                        artifact_dir=args.out,
                        trace=args.trace is not None,
-                       progress=ticker)
+                       progress=ticker,
+                       retry=retry,
+                       task_deadline=args.task_deadline,
+                       journal=args.journal,
+                       resume=args.resume)
     if ticker is not None:
         ticker.close()
+    if args.chaos is not None:
+        ChaosPlan.uninstall()
     path = res.write_report(f"{args.out}/report.json")
     if args.trace is not None:
         print(f"trace: {res.write_trace(args.trace)} "
@@ -56,10 +97,19 @@ def main(argv=None):
     for tid in sorted(report["tasks"]):
         entry = report["tasks"][tid]
         print(f"  {entry['status']:>8}  {tid}")
+    if res.stats["resumed"]:
+        print(f"resumed: {len(res.stats['resumed'])} task(s) loaded "
+              f"from journal")
+    if res.stats.get("retries") or res.stats.get("respawns"):
+        print(f"recovery: {res.stats['retries']} retrie(s), "
+              f"{res.stats['respawns']} respawn(s), "
+              f"{len(res.stats['quarantined'])} quarantined")
     print(f"status: {report['status']}  counts: {report['counts']}")
     print(f"elapsed: {res.stats['elapsed']:.2f}s across "
           f"{res.stats['nworkers']} worker(s)")
     print(f"report: {path}")
+    if res.interrupted:
+        return 130
     return 0 if res.ok else 1
 
 

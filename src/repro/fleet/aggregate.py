@@ -57,7 +57,7 @@ def _merge_histograms(total, histograms):
             total[name] = Histogram.from_dict(data, name=name)
 
 
-def aggregate(campaign, results):
+def aggregate(campaign, results, partial=False):
     """Fold per-task results into one ``repro-fleet-v1`` report dict.
 
     ``results`` is an iterable of
@@ -65,13 +65,21 @@ def aggregate(campaign, results):
     report is identical for every permutation.  Raises ``ValueError``
     on duplicate or unknown task ids and on missing tasks — a fleet
     that lost a result must not silently report success.
+
+    ``partial=True`` is the interrupted-campaign mode: missing tasks
+    are allowed, listed under ``report["missing"]``, and force
+    ``status: "interrupted"``.  A complete result set aggregates to
+    the exact same bytes with ``partial`` on or off (the ``missing``
+    key is only emitted when tasks are actually missing), which is
+    what lets a resumed run reproduce an uninterrupted report.
     """
     expected = {t.task_id for t in campaign.tasks}
     tasks = {}
     coverage = {}
     counters = {}
     histograms = {}
-    counts = {"ok": 0, "mismatch": 0, "timeout": 0, "error": 0}
+    counts = {"ok": 0, "mismatch": 0, "timeout": 0, "error": 0,
+              "poisoned": 0}
 
     for res in results:
         if res.task_id in tasks:
@@ -97,17 +105,20 @@ def aggregate(campaign, results):
         _merge_histograms(histograms, telemetry.get("histograms", {}))
 
     missing = sorted(expected - set(tasks))
-    if missing:
+    if missing and not partial:
         raise ValueError(f"no result for task(s): {missing}")
 
     failures = sorted(tid for tid, e in tasks.items()
                       if e["status"] != "ok")
-    return {
+    status = "failed" if failures else "ok"
+    if missing:
+        status = "interrupted"
+    report = {
         "schema": SCHEMA,
         "campaign": campaign.name,
         "seed": campaign.seed,
         "ntasks": len(campaign.tasks),
-        "status": "failed" if failures else "ok",
+        "status": status,
         "counts": counts,
         "failures": failures,
         "tasks": tasks,
@@ -118,6 +129,9 @@ def aggregate(campaign, results):
                            for name, hist in histograms.items()},
         },
     }
+    if missing:
+        report["missing"] = missing
+    return report
 
 
 def report_json(report):

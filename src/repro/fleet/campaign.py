@@ -69,7 +69,7 @@ class TaskResult:
 
     task_id: str
     kind: str
-    status: str                       # ok | mismatch | timeout | error
+    status: str          # ok | mismatch | timeout | error | poisoned
     seed: int                         # the task's derived substream seed
     payload: dict = field(default_factory=dict)
     coverage: dict = field(default_factory=dict)
@@ -84,14 +84,34 @@ class TaskResult:
 
 
 class CampaignTask:
-    """Base class: id, seed derivation, and the failure-capture shell."""
+    """Base class: id, seed derivation, and the failure-capture shell.
+
+    ``wall_budget`` (seconds) arms an in-worker SIGALRM watchdog
+    (:func:`repro.resilience.guard.wall_budget_alarm`) around
+    :meth:`run`, so a pure-Python hang becomes a structured, *retryable*
+    ``"timeout"`` result long before the supervisor's harder process-
+    level deadline fires.  ``cycle_budget`` clamps the task's simulated-
+    cycle limits (``max_cycles``), so a livelocked design becomes a
+    deterministic ``"timeout"`` result.
+    """
 
     kind = "task"
 
-    def __init__(self, task_id):
+    def __init__(self, task_id, wall_budget=None, cycle_budget=None):
         self.task_id = str(task_id)
         if not self.task_id:
             raise ValueError("task_id must be non-empty")
+        self.wall_budget = wall_budget
+        self.cycle_budget = (None if cycle_budget is None
+                             else int(cycle_budget))
+
+    def _clamp_cycles(self, max_cycles):
+        """``max_cycles`` bounded by the task's cycle budget."""
+        if self.cycle_budget is None:
+            return max_cycles
+        if max_cycles is None:
+            return self.cycle_budget
+        return min(int(max_cycles), self.cycle_budget)
 
     def rng(self, campaign_seed):
         """The task's private RNG substream (crc32 fork by task id)."""
@@ -104,17 +124,24 @@ class CampaignTask:
 
     # -- failure-capture shell -------------------------------------------
 
-    def execute(self, campaign_seed, ctx):
+    def execute(self, campaign_seed, ctx, attempt=1):
         """Run under the fleet contract: never raise, always return a
         :class:`TaskResult`.  Verification failures become structured
         ``mismatch`` results (with shrunk repro + observe bundles via
         :meth:`_diagnose_mismatch`), budget blowouts become
         ``timeout``, anything else becomes ``error`` with a traceback
         — sibling tasks on the same worker keep running either way.
+
+        ``attempt`` is the supervisor's retry ordinal (1 on the first
+        try); it selects chaos injections and is *never* allowed to
+        influence the result — every attempt derives the identical RNG
+        substream, which is what makes retried results byte-equal to
+        first-try results.
         """
-        from ..resilience.guard import WatchdogTimeout
+        from ..resilience.guard import WatchdogTimeout, wall_budget_alarm
         from ..telemetry import tracing
         from ..verif.cosim import CoSimMismatch, CoSimTimeout
+        from .chaos import maybe_inject
 
         rng = self.rng(campaign_seed)
         seed = rng._seed & 0xFFFFFFFF
@@ -122,9 +149,12 @@ class CampaignTask:
         status, payload, coverage, telemetry, diagnostics = \
             "ok", {}, {}, {}, None
         with tracing.span("fleet.task", task=self.task_id,
-                          kind=self.kind) as sp:
+                          kind=self.kind, attempt=attempt) as sp:
             try:
-                payload, coverage, telemetry = self.run(rng, ctx)
+                with wall_budget_alarm(self.wall_budget,
+                                       label=self.task_id):
+                    maybe_inject(self.task_id, attempt)
+                    payload, coverage, telemetry = self.run(rng, ctx)
             except CoSimMismatch as exc:
                 status = "mismatch"
                 diagnostics = self._diagnose_mismatch(
@@ -135,6 +165,13 @@ class CampaignTask:
                 wd_diag = getattr(exc, "diagnostics", None)
                 if wd_diag:
                     diagnostics["watchdog"] = _strip_timing(wd_diag)
+                    # Wall-clock trips are machine noise, not a fact
+                    # about the design: mark them transient so the
+                    # supervisor's retry policy gives the task a fresh
+                    # attempt.  Cycle-budget trips are deterministic
+                    # and final.
+                    if wd_diag.get("kind") == "wall-budget":
+                        diagnostics["transient"] = True
             except Exception as exc:
                 status = "error"
                 diagnostics = {
@@ -263,8 +300,10 @@ class VerifSweepTask(CampaignTask):
                  backpressure=("random", {"p": 0.75}),
                  presence=("random", {"p": 0.85}),
                  max_cycles=60_000, shrink=True, shrink_runs=150,
-                 observe_depth=0, build_src=None):
-        super().__init__(task_id)
+                 observe_depth=0, build_src=None,
+                 wall_budget=None, cycle_budget=None):
+        super().__init__(task_id, wall_budget=wall_budget,
+                         cycle_budget=cycle_budget)
         self.scenario = scenario
         self.ntxns = int(ntxns)
         self.points = tuple(points) if points else self.DEFAULT_POINTS
@@ -290,6 +329,8 @@ class VerifSweepTask(CampaignTask):
         make, stimulus, run_kwargs = scenario(rng, self)
         run_kwargs = dict(run_kwargs)
         run_kwargs.setdefault("max_cycles", self.max_cycles)
+        run_kwargs["max_cycles"] = self._clamp_cycles(
+            run_kwargs["max_cycles"])
         if "backpressure" not in run_kwargs:
             run_kwargs["backpressure"] = _pattern(
                 self.backpressure, rng, "bp", backpressure_pattern)
@@ -477,8 +518,10 @@ class FaultSweepTask(CampaignTask):
 
     def __init__(self, task_id, npackets=120, drop=0.05, corrupt=0.05,
                  stall=0.05, levels=("fl", "cl", "rtl"),
-                 payload_nbits=16, max_cycles=60_000, rdy_p=0.2):
-        super().__init__(task_id)
+                 payload_nbits=16, max_cycles=60_000, rdy_p=0.2,
+                 wall_budget=None, cycle_budget=None):
+        super().__init__(task_id, wall_budget=wall_budget,
+                         cycle_budget=cycle_budget)
         self.npackets = int(npackets)
         self.drop = float(drop)
         self.corrupt = float(corrupt)
@@ -496,7 +539,8 @@ class FaultSweepTask(CampaignTask):
             npackets=self.npackets, drop=self.drop,
             corrupt=self.corrupt, stall=self.stall,
             levels=self.levels, payload_nbits=self.payload_nbits,
-            max_cycles=self.max_cycles, rdy_p=self.rdy_p)
+            max_cycles=self._clamp_cycles(self.max_cycles),
+            rdy_p=self.rdy_p)
         coverage = out.pop("coverage")
         telemetry = {"counters": out.pop("counters"),
                      "histograms": {}}
@@ -598,15 +642,22 @@ class BenchPointTask(CampaignTask):
 
     kind = "bench"
 
-    def __init__(self, task_id, design, params=None):
-        super().__init__(task_id)
+    def __init__(self, task_id, design, params=None,
+                 wall_budget=None, cycle_budget=None):
+        super().__init__(task_id, wall_budget=wall_budget,
+                         cycle_budget=cycle_budget)
         self.design = design
         self.params = dict(params or {})
 
     def run(self, rng, ctx):
         fn = self.design if callable(self.design) \
             else DESIGN_POINTS[self.design]
-        metrics, sim = fn(rng, self.params)
+        params = self.params
+        if self.cycle_budget is not None:
+            params = dict(params)
+            params["max_cycles"] = self._clamp_cycles(
+                params.get("max_cycles"))
+        metrics, sim = fn(rng, params)
         payload = {
             "design": getattr(self.design, "__name__", self.design),
             "params": dict(sorted(self.params.items())),

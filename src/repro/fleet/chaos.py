@@ -1,0 +1,221 @@
+"""Deterministic fleet chaos: injected worker crashes, hangs, spikes.
+
+PR 4 taught the *designs* to survive injected faults; this module
+turns the same philosophy on the fleet itself.  A :class:`ChaosPlan`
+names sabotage to perform at exact ``(task_id, attempt)`` coordinates:
+
+- ``"kill"`` — ``SIGKILL`` the worker process mid-task (the segfault
+  stand-in: the process dies without unwinding, without flushing,
+  without a result);
+- ``"hang"`` — stop making progress in an *interruptible* sleep loop
+  (the comb-loop-with-an-armed-watchdog stand-in: the task's
+  ``wall_budget`` SIGALRM can still fire and convert the hang into a
+  structured ``"timeout"`` result);
+- ``"hang_hard"`` — mask ``SIGALRM`` first, then hang (the
+  comb-loop-with-*no*-armed-watchdog stand-in: only the supervisor's
+  process-level deadline can reclaim the task);
+- ``"spike"`` — allocate and touch ``mbytes`` of memory, release it,
+  and continue normally (an allocation burst the fleet must absorb,
+  visible in the live RSS metrics, harmless to the result).
+
+Because events are keyed on the attempt number (``attempts=1``
+sabotages only the first attempt), a chaos run with retries enabled
+converges to the exact results of an undisturbed run — which is how
+the chaos tests prove the supervisor end-to-end: inject, retry,
+compare report bytes.
+
+**Transport.**  The plan rides the ``REPRO_FLEET_CHAOS`` environment
+variable as JSON, so it reaches pool workers under both ``fork`` and
+``spawn`` start methods and needs no plumbing through the dispatch
+protocol.  :func:`maybe_inject` (called by ``CampaignTask.execute``
+inside the watchdog window) reads and caches the plan per process;
+with the variable unset it is a dict-lookup no-op.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+from dataclasses import dataclass
+
+__all__ = ["ENV_VAR", "ChaosEvent", "ChaosPlan", "maybe_inject"]
+
+ENV_VAR = "REPRO_FLEET_CHAOS"
+
+_MODES = ("kill", "hang", "hang_hard", "spike")
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One planned sabotage.
+
+    ``task`` is the exact task id (or ``None`` when built from an
+    ``index`` that has not been resolved yet); ``attempts`` is the
+    highest attempt number still sabotaged (1 = first try only, so a
+    retry runs clean; a large value poisons every attempt).
+    ``seconds`` bounds a hang (a backstop so an unsupervised chaos run
+    cannot wedge forever); ``mbytes`` sizes a spike.
+    """
+
+    task: str | None
+    mode: str = "kill"
+    attempts: int = 1
+    index: int | None = None
+    seconds: float = 600.0
+    mbytes: int = 64
+
+    def __post_init__(self):
+        if self.mode not in _MODES:
+            raise ValueError(
+                f"unknown chaos mode {self.mode!r}; pick from {_MODES}")
+        if self.task is None and self.index is None:
+            raise ValueError("a ChaosEvent needs a task id or an index")
+
+
+class ChaosPlan:
+    """A set of :class:`ChaosEvent`, installable into the environment."""
+
+    def __init__(self, events):
+        self.events = list(events)
+
+    # -- construction / transport ----------------------------------------
+
+    @classmethod
+    def from_json(cls, text):
+        data = json.loads(text)
+        if not isinstance(data, list):
+            raise ValueError("chaos plan JSON must be a list of events")
+        return cls(ChaosEvent(
+            task=ev.get("task"),
+            mode=ev.get("mode", "kill"),
+            attempts=int(ev.get("attempts", 1)),
+            index=ev.get("index"),
+            seconds=float(ev.get("seconds", 600.0)),
+            mbytes=int(ev.get("mbytes", 64)),
+        ) for ev in data)
+
+    def to_json(self):
+        out = []
+        for ev in self.events:
+            rec = {"task": ev.task, "mode": ev.mode,
+                   "attempts": ev.attempts}
+            if ev.index is not None:
+                rec["index"] = ev.index
+            if ev.mode in ("hang", "hang_hard"):
+                rec["seconds"] = ev.seconds
+            if ev.mode == "spike":
+                rec["mbytes"] = ev.mbytes
+            out.append(rec)
+        return json.dumps(out, sort_keys=True)
+
+    def resolve(self, campaign):
+        """Return a copy with every ``index``-addressed event bound to
+        its task id in ``campaign`` (task order is part of the campaign
+        identity, so indices are stable)."""
+        events = []
+        for ev in self.events:
+            if ev.task is None:
+                if not 0 <= ev.index < len(campaign.tasks):
+                    raise ValueError(
+                        f"chaos index {ev.index} out of range for "
+                        f"campaign of {len(campaign.tasks)} tasks")
+                ev = ChaosEvent(
+                    task=campaign.tasks[ev.index].task_id,
+                    mode=ev.mode, attempts=ev.attempts, index=ev.index,
+                    seconds=ev.seconds, mbytes=ev.mbytes)
+            events.append(ev)
+        return ChaosPlan(events)
+
+    def install(self, environ=None):
+        """Publish the plan into the environment (workers read it on
+        first injection check).  Every event must be task-addressed —
+        call :meth:`resolve` first for index-addressed plans."""
+        unresolved = [ev for ev in self.events if ev.task is None]
+        if unresolved:
+            raise ValueError(
+                "cannot install a plan with unresolved indices; call "
+                "resolve(campaign) first")
+        (environ if environ is not None else os.environ)[ENV_VAR] = \
+            self.to_json()
+        _reset_cache()
+        return self
+
+    @staticmethod
+    def uninstall(environ=None):
+        (environ if environ is not None else os.environ).pop(
+            ENV_VAR, None)
+        _reset_cache()
+
+    # -- lookup / execution ----------------------------------------------
+
+    def lookup(self, task_id, attempt):
+        for ev in self.events:
+            if ev.task == task_id and attempt <= ev.attempts:
+                return ev
+        return None
+
+    def inject(self, task_id, attempt):
+        """Perform the planned sabotage for ``(task_id, attempt)``, if
+        any.  ``kill`` never returns; ``hang``/``hang_hard`` park until
+        an external force (SIGALRM / supervisor kill / the ``seconds``
+        backstop) intervenes; ``spike`` returns after the burst."""
+        ev = self.lookup(task_id, attempt)
+        if ev is None:
+            return None
+        if ev.mode == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+        elif ev.mode in ("hang", "hang_hard"):
+            if ev.mode == "hang_hard" and hasattr(signal, "SIGALRM"):
+                signal.signal(signal.SIGALRM, signal.SIG_IGN)
+            deadline = time.monotonic() + ev.seconds
+            while time.monotonic() < deadline:
+                # Short interruptible sleeps: a SIGALRM handler raises
+                # straight out of here on the soft-hang path.
+                time.sleep(0.05)
+        elif ev.mode == "spike":
+            ballast = bytearray(ev.mbytes << 20)
+            ballast[::4096] = b"\xff" * len(ballast[::4096])
+            del ballast
+        return ev
+
+    def __len__(self):
+        return len(self.events)
+
+    def __repr__(self):
+        return f"<ChaosPlan {self.events!r}>"
+
+
+# -- per-process env-hook cache -----------------------------------------------
+
+_CACHED = None
+_CACHED_TEXT = None
+
+
+def _reset_cache():
+    global _CACHED, _CACHED_TEXT
+    _CACHED = None
+    _CACHED_TEXT = None
+
+
+def _active_plan():
+    """The installed plan (cached per text value, re-read on change)."""
+    global _CACHED, _CACHED_TEXT
+    text = os.environ.get(ENV_VAR)
+    if not text:
+        _reset_cache()
+        return None
+    if text != _CACHED_TEXT:
+        _CACHED = ChaosPlan.from_json(text)
+        _CACHED_TEXT = text
+    return _CACHED
+
+
+def maybe_inject(task_id, attempt):
+    """The worker-side hook: sabotage ``(task_id, attempt)`` if the
+    installed plan says so; a no-op when no plan is installed."""
+    plan = _active_plan()
+    if plan is None:
+        return None
+    return plan.inject(task_id, attempt)

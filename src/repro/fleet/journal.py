@@ -1,0 +1,221 @@
+"""Write-ahead campaign journal: resumable fleet runs.
+
+A :class:`Journal` is an append-only JSONL file recording, durably,
+every task completion of a campaign run.  The first line is a header
+binding the journal to one campaign identity ``(name, seed, ntasks,
+task-id digest)``; every following line is one serialized
+:class:`~repro.fleet.campaign.TaskResult`.  Appends are flushed and
+``fsync``'d before the runner considers the task complete, so the
+journal is a true write-ahead log: whatever interrupted the campaign
+(SIGKILL of the parent, power loss, Ctrl-C), every task the journal
+names really finished and its recorded result is the result.
+
+``run_campaign(campaign, resume=path)`` replays the journal: completed
+tasks are loaded (not re-executed), the remainder runs normally with
+completions appended to the same file, and the final aggregated
+``repro-fleet-v1`` report is **byte-identical** to an uninterrupted
+run — task results depend only on ``(campaign_seed, task_id, spec)``,
+and the aggregator is order-free, so splicing journal-loaded results
+with freshly-computed ones is invisible.
+
+Torn tails are tolerated: a crash mid-append leaves at most one
+partial final line, which :func:`Journal.load` drops.  Corruption
+anywhere *before* the final line raises :class:`JournalError` — a
+journal that lost interior data must not silently resume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+
+from .campaign import TaskResult
+
+__all__ = ["Journal", "JournalError", "SCHEMA"]
+
+SCHEMA = "repro-fleet-journal-v1"
+
+# TaskResult fields in serialization order (dataclass order).
+_FIELDS = ("task_id", "kind", "status", "seed", "payload", "coverage",
+           "telemetry", "diagnostics", "elapsed", "worker")
+
+
+class JournalError(ValueError):
+    """The journal is corrupt or belongs to a different campaign."""
+
+
+def _task_ids_digest(campaign):
+    """Order-sensitive crc32 of the campaign's task-id list: cheap
+    identity check that ``resume`` is replaying the same task set."""
+    digest = 0
+    for task in campaign.tasks:
+        digest = zlib.crc32(task.task_id.encode(), digest)
+    return digest & 0xFFFFFFFF
+
+
+def result_to_dict(res):
+    """One :class:`TaskResult` as a JSON-ready dict."""
+    return {name: getattr(res, name) for name in _FIELDS}
+
+
+def result_from_dict(data):
+    """Inverse of :func:`result_to_dict`."""
+    return TaskResult(**{name: data[name] for name in _FIELDS
+                         if name in data})
+
+
+class Journal:
+    """Append-only JSONL journal of one campaign's task completions.
+
+    Use the constructors, not ``__init__`` directly:
+
+    - :meth:`Journal.create` — start a fresh journal for a run
+      (truncates any existing file at ``path``);
+    - :meth:`Journal.resume` — load an interrupted journal (or create
+      a fresh one if ``path`` does not exist), validate it against the
+      campaign, and reopen it for appending.
+
+    ``journal.results`` maps task id -> loaded :class:`TaskResult`
+    for every completion already on disk.
+    """
+
+    def __init__(self, path, campaign, results=None, _file=None):
+        self.path = os.path.abspath(path)
+        self.campaign_name = campaign.name
+        self.results = dict(results or {})
+        self._file = _file
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def create(cls, path, campaign):
+        """Start a fresh journal (truncating ``path`` if present)."""
+        d = os.path.dirname(os.path.abspath(path))
+        if d:
+            os.makedirs(d, exist_ok=True)
+        f = open(path, "w")
+        journal = cls(path, campaign, _file=f)
+        journal._append_line({
+            "type": "header",
+            "schema": SCHEMA,
+            "campaign": campaign.name,
+            "seed": campaign.seed,
+            "ntasks": len(campaign.tasks),
+            "task_ids_digest": _task_ids_digest(campaign),
+        })
+        return journal
+
+    @classmethod
+    def resume(cls, path, campaign):
+        """Load ``path`` (validated against ``campaign``) and reopen it
+        for appending; creates a fresh journal if the file is absent."""
+        if not os.path.exists(path):
+            return cls.create(path, campaign)
+        header, results = cls.load(path)
+        if (header.get("schema") != SCHEMA
+                or header.get("campaign") != campaign.name
+                or header.get("seed") != campaign.seed
+                or header.get("ntasks") != len(campaign.tasks)
+                or header.get("task_ids_digest")
+                    != _task_ids_digest(campaign)):
+            raise JournalError(
+                f"journal {path!r} was written by a different campaign "
+                f"(header {header!r}; expected campaign "
+                f"{campaign.name!r} seed {campaign.seed} "
+                f"ntasks {len(campaign.tasks)})")
+        known = {t.task_id for t in campaign.tasks}
+        unknown = sorted(set(results) - known)
+        if unknown:
+            raise JournalError(
+                f"journal {path!r} records unknown task(s): {unknown}")
+        return cls(path, campaign, results=results,
+                   _file=open(path, "a"))
+
+    # -- reading ----------------------------------------------------------
+
+    @staticmethod
+    def load(path):
+        """Parse a journal file into ``(header, {task_id: TaskResult})``.
+
+        Drops a torn final line (interrupted append); raises
+        :class:`JournalError` on a bad header, interior corruption, or
+        duplicate task ids with conflicting payloads.
+        """
+        with open(path) as f:
+            lines = f.read().split("\n")
+        if lines and lines[-1] == "":
+            lines.pop()
+        if not lines:
+            raise JournalError(f"journal {path!r} is empty")
+        records = []
+        for i, line in enumerate(lines):
+            try:
+                records.append(json.loads(line))
+            except ValueError:
+                if i == len(lines) - 1:
+                    break                   # torn tail: drop and go on
+                raise JournalError(
+                    f"journal {path!r} is corrupt at line {i + 1}")
+        if not records or records[0].get("type") != "header":
+            raise JournalError(f"journal {path!r} has no header line")
+        header = records[0]
+        results = {}
+        for i, rec in enumerate(records[1:], start=2):
+            if rec.get("type") != "result":
+                raise JournalError(
+                    f"journal {path!r}: unexpected record type "
+                    f"{rec.get('type')!r} at line {i}")
+            try:
+                res = result_from_dict(rec["data"])
+            except (KeyError, TypeError) as exc:
+                raise JournalError(
+                    f"journal {path!r}: bad result at line {i}: "
+                    f"{exc}") from exc
+            # Duplicates can only arise from a replayed append after a
+            # torn-tail resume; determinism makes them byte-equal, so
+            # first-wins is safe — but a *conflicting* duplicate means
+            # the journal mixes two runs and must not resume.
+            if res.task_id in results:
+                prev = results[res.task_id]
+                if result_to_dict(prev) != result_to_dict(res):
+                    raise JournalError(
+                        f"journal {path!r}: conflicting duplicate "
+                        f"result for task {res.task_id!r}")
+                continue
+            results[res.task_id] = res
+        return header, results
+
+    # -- appending --------------------------------------------------------
+
+    def append(self, res):
+        """Durably record one completed task (flush + fsync)."""
+        if self._file is None:
+            raise ValueError("journal is closed")
+        self.results[res.task_id] = res
+        self._append_line({"type": "result",
+                           "data": result_to_dict(res)})
+
+    def _append_line(self, record):
+        self._file.write(json.dumps(record, sort_keys=True) + "\n")
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    def close(self):
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    def __len__(self):
+        return len(self.results)
+
+    def __repr__(self):
+        return (f"<Journal {self.path!r} campaign="
+                f"{self.campaign_name!r} nresults={len(self.results)}>")

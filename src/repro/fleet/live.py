@@ -1,13 +1,20 @@
 """Live fleet observability: span collection and progress metrics.
 
-The runner's workers stream two kinds of messages over a
-multiprocessing queue side-channel (see :mod:`repro.fleet.runner`):
+The runner's workers stream two kinds of messages over their result
+pipes (see :mod:`repro.fleet.runner`):
 
 - ``("spans", pid, [records])`` — host-span records drained from the
   worker's :class:`~repro.telemetry.tracing.Tracer` after each task;
 - ``("metrics", pid, snapshot)`` — a periodic per-worker metrics
   snapshot (tasks done/failed, cumulative simulated cycles, RSS,
   counter deltas), emitted after each task completes.
+
+The supervisor additionally reports scheduling events directly
+(:meth:`LiveCollector.task_retried`,
+:meth:`LiveCollector.task_quarantined`,
+:meth:`LiveCollector.worker_respawned`), so the live ticker shows
+fault-recovery activity — retries, respawned workers, quarantined
+tasks — as it happens.
 
 :class:`LiveCollector` merges them **arrival-order-free**: records are
 bucketed per worker pid and only ordered (by timestamp, within their
@@ -74,6 +81,9 @@ class LiveCollector:
         self.tasks_done = 0
         self.tasks_failed = 0
         self.dropped_spans = 0
+        self.retries = 0
+        self.respawns = 0
+        self.quarantined = []
         self._t0 = perf_counter()
 
     # -- ingestion --------------------------------------------------------
@@ -97,6 +107,21 @@ class LiveCollector:
         self.tasks_done += 1
         if result.status != "ok":
             self.tasks_failed += 1
+        self._notify()
+
+    def task_retried(self, task_id, attempt, reason):
+        """Record one retry decision (supervisor-side)."""
+        self.retries += 1
+        self._notify()
+
+    def task_quarantined(self, task_id):
+        """Record one quarantined task (supervisor-side)."""
+        self.quarantined.append(task_id)
+        self._notify()
+
+    def worker_respawned(self, pid):
+        """Record one worker replacement (supervisor-side)."""
+        self.respawns += 1
         self._notify()
 
     def _notify(self):
@@ -200,6 +225,11 @@ class Ticker:
                 f"  {collector.cycles_per_sec:,.0f} cyc/s"
                 f"  rss={collector.rss_kb / 1024.0:.0f}MB"
                 f"  {collector.elapsed:.1f}s")
+        if collector.retries or collector.respawns:
+            line += (f"  retry={collector.retries}"
+                     f" respawn={collector.respawns}")
+        if collector.quarantined:
+            line += f"  poisoned={len(collector.quarantined)}"
         self.stream.write("\r\x1b[2K" + line)
         self.stream.flush()
         self._wrote = True

@@ -1,4 +1,4 @@
-"""Process-pool campaign execution.
+"""Fault-tolerant process campaign execution.
 
 ``run_campaign`` shards a :class:`~repro.fleet.campaign.Campaign`
 across a pool of worker processes.  Task specs are tiny picklable
@@ -6,53 +6,85 @@ descriptions; each worker rebuilds its DUTs from scratch, so nothing
 simulator-shaped ever crosses the process boundary — only specs out,
 :class:`~repro.fleet.campaign.TaskResult` back.
 
-Design notes:
+Task-level *exceptions* were already structured results (the
+``execute`` failure-capture shell); this module makes process-level
+*death* and *hangs* structured too.  Dispatch is a supervisor, not a
+``Pool``:
 
-- **Work stealing.** Tasks are dispatched with
-  ``Pool.imap_unordered`` in small chunks, so a worker that drew a
-  quick task steals the next chunk instead of idling behind a slow
-  sibling.  Completion order is therefore nondeterministic — which is
-  fine, because the aggregator keys by task id.
+- **Supervised dispatch.**  Each worker is a bare
+  ``multiprocessing.Process`` with a private task pipe and result
+  pipe.  The supervisor assigns one task at a time and tracks every
+  in-flight assignment as ``task -> (worker pid, attempt, start time,
+  deadline)``; workers acknowledge each assignment with a ``start``
+  heartbeat on the same side-channel that carries the live
+  spans/metrics messages.
+- **Crash isolation.**  A worker that dies mid-task (segfault in a
+  generated ``.so``, OOM kill, injected ``SIGKILL``) is detected via
+  its process sentinel/exitcode.  The supervisor reaps it, respawns a
+  replacement, and reassigns the task — the campaign never loses a
+  sibling's completed work and never raises out of the dispatch loop.
+- **Deadlines.**  ``task_deadline`` bounds each attempt's wall clock
+  at the process level; an overrunning worker is terminated and the
+  task reassigned.  This is the *hard* backstop behind the softer
+  in-worker ``wall_budget`` watchdog (which converts pure-Python
+  hangs into structured ``"timeout"`` results without killing
+  anything).
+- **Retry with backoff.**  :class:`RetryPolicy` bounds attempts and
+  spaces them with exponential backoff; the jitter fraction is
+  derived from the task's seed (crc32), so retry *schedules* are
+  reproducible even though wall-clock timing never reaches the
+  report.  Transient (wall-budget) timeout results are retried too;
+  deterministic cycle-budget timeouts are not.
+- **Quarantine.**  A task that keeps killing workers is quarantined
+  after ``max_attempts`` as a structured ``"poisoned"`` result whose
+  report-visible diagnostics carry only deterministic facts (attempt
+  count, per-attempt failure reasons, exit signals, last heartbeat);
+  wall-clock attempt timings ride the ``stats`` side-channel, so the
+  ``repro-fleet-v1`` report stays byte-deterministic.
+- **Write-ahead journal.**  ``journal=`` / ``resume=`` arm a
+  :class:`~repro.fleet.journal.Journal`: every completion is fsync'd
+  before it counts, and a resumed run loads completed results instead
+  of re-executing them — producing byte-identical final report bytes.
+- **Clean interruption.**  ``KeyboardInterrupt`` terminates the
+  workers, flushes the journal and collector, and returns a *partial*
+  :class:`FleetResult` (``stats["interrupted"]`` true, report status
+  ``"interrupted"``) instead of losing everything.
 - **Fork start method.**  The default start method is ``fork`` where
   the platform offers it: workers inherit the parent's
   ``PYTHONHASHSEED`` and module state, so anything hash-order
   sensitive (e.g. SimJIT code generation walking sets) is identical
-  across workers.  ``spawn`` also works (results are seed-derived),
-  but fork is cheaper and strictly more deterministic.
+  across workers.  ``spawn`` also works (results are seed-derived).
 - **Shared .so cache.**  Workers inherit/receive one
-  ``SIMJIT_CACHE_DIR``, so the first worker to specialize a design
-  compiles it and every other worker (and every later task) gets a
-  cache hit.  The per-key ``flock`` in the specializer serializes
-  same-design races; distinct designs compile concurrently.
-- **Failure isolation.**  ``CampaignTask.execute`` converts mismatches
-  / timeouts / exceptions into structured results, so one diverging
-  task cannot take down its siblings; the pool only dies if a worker
-  process itself is killed.
-- **Nondeterminism side-channel.**  Per-task wall time and worker pids
-  are stripped from results before aggregation and reported in
-  :attr:`FleetResult.stats` instead, keeping the report byte-stable.
+  ``SIMJIT_CACHE_DIR``; the per-key ``flock`` in the specializer
+  serializes same-design build races.
 - **Observability side-channel.**  With ``trace=True`` each worker
-  arms a process-local :class:`~repro.telemetry.tracing.Tracer` and,
-  after every task, ships its drained span records plus a metrics
-  snapshot (tasks done/failed, cumulative cycles, RSS, counter
-  totals) over a manager queue to a
-  :class:`~repro.fleet.live.LiveCollector` in the parent.  Everything
-  observability rides this side-channel; the deterministic
-  ``repro-fleet-v1`` report bytes are identical with tracing on or
-  off (asserted in ``tests/test_tracing.py``).
+  arms a process-local :class:`~repro.telemetry.tracing.Tracer` and
+  ships span batches + metrics snapshots after every task; the parent
+  additionally records supervisor instants (``fleet.retry``,
+  ``fleet.respawn``, ``fleet.quarantine``).  Report bytes are
+  identical with tracing on or off.
+
+Chaos injection (:mod:`repro.fleet.chaos`) deterministically
+exercises every path above; the chaos tests assert that a sabotaged
+campaign converges to the exact report bytes of an undisturbed run.
 """
 
 from __future__ import annotations
 
+import heapq
 import multiprocessing
 import os
-import queue as queue_mod
+import signal as signal_mod
+import zlib
+from collections import deque
+from multiprocessing.connection import wait as conn_wait
+from time import monotonic, perf_counter, sleep
 
 from .aggregate import aggregate, report_json
-from .campaign import Campaign
+from .campaign import Campaign, TaskResult, _safe_tag
 
-__all__ = ["FleetContext", "FleetResult", "run_campaign",
-           "default_nworkers"]
+__all__ = ["FleetContext", "FleetResult", "RetryPolicy",
+           "run_campaign", "default_nworkers"]
 
 
 class FleetContext:
@@ -63,13 +95,60 @@ class FleetContext:
         self.artifact_dir = artifact_dir
 
 
+class RetryPolicy:
+    """Bounded retry with seed-jittered exponential backoff.
+
+    ``max_attempts`` counts total tries (1 = never retry).  The
+    ``attempt``-th failure waits ``base_delay * 2**(attempt-1)``
+    seconds (capped at ``max_delay``), scaled into ``[0.5, 1.0]`` by a
+    jitter fraction derived from crc32 of ``(task seed, attempt)`` —
+    deterministic per task, decorrelated across tasks, so a thundering
+    herd of retries spreads out the same way on every run.
+
+    Process-level failures (crash, deadline overrun) are always
+    retry-eligible.  Structured results are retried only when their
+    status is in ``retry_statuses`` *and* the result is marked
+    transient (``diagnostics["transient"]``, set by wall-budget
+    watchdog trips) — deterministic failures would fail identically
+    again, so retrying them only burns wall clock.
+    """
+
+    def __init__(self, max_attempts=3, base_delay=0.25, max_delay=30.0,
+                 retry_statuses=("timeout",)):
+        self.max_attempts = max(1, int(max_attempts))
+        self.base_delay = float(base_delay)
+        self.max_delay = float(max_delay)
+        self.retry_statuses = tuple(retry_statuses)
+
+    def delay(self, task_seed, attempt):
+        """Backoff before attempt ``attempt + 1`` (seconds)."""
+        base = min(self.max_delay,
+                   self.base_delay * (2.0 ** (max(0, attempt - 1))))
+        key = f"{int(task_seed)}:{int(attempt)}".encode()
+        frac = (zlib.crc32(key) & 0xFFFF) / 0xFFFF
+        return base * (0.5 + 0.5 * frac)
+
+    def should_retry_result(self, res, attempt):
+        """Retry a *structured* result? (Process deaths don't come
+        through here — they are always eligible up to the bound.)"""
+        return (attempt < self.max_attempts
+                and res.status in self.retry_statuses
+                and bool((res.diagnostics or {}).get("transient")))
+
+    def __repr__(self):
+        return (f"RetryPolicy(max_attempts={self.max_attempts}, "
+                f"base_delay={self.base_delay}, "
+                f"max_delay={self.max_delay})")
+
+
 class FleetResult:
     """Everything a campaign run produced.
 
     ``report`` (and ``report_json()``) hold only deterministic data;
-    ``stats`` holds the wall-clock/process side-channel and ``trace``
-    the :class:`~repro.fleet.live.LiveCollector` (``None`` unless the
-    run traced).
+    ``stats`` holds the wall-clock/process side-channel (including
+    retry/respawn/quarantine accounting and the ``interrupted`` flag)
+    and ``trace`` the :class:`~repro.fleet.live.LiveCollector`
+    (``None`` unless the run traced).
     """
 
     def __init__(self, campaign, results, report, stats, trace=None):
@@ -82,6 +161,10 @@ class FleetResult:
     @property
     def ok(self):
         return self.report["status"] == "ok"
+
+    @property
+    def interrupted(self):
+        return bool(self.stats.get("interrupted"))
 
     @property
     def failures(self):
@@ -125,10 +208,10 @@ def default_nworkers():
         return os.cpu_count() or 1
 
 
-def default_chunksize(ntasks, nworkers):
-    """Small chunks: enough to amortize IPC, small enough that the
-    tail of the campaign still load-balances."""
-    return max(1, min(8, ntasks // (nworkers * 4)))
+def _task_seed(task, campaign_seed):
+    """The task's derived substream seed (pure, computable without
+    running the task — used for poisoned results and retry jitter)."""
+    return task.rng(campaign_seed)._seed & 0xFFFFFFFF
 
 
 def _task_cycles(res):
@@ -171,6 +254,16 @@ def _kind_stats(results):
     }
 
 
+def _exit_signal(exitcode):
+    """Signal name for a negative exitcode, else ``None``."""
+    if exitcode is None or exitcode >= 0:
+        return None
+    try:
+        return signal_mod.Signals(-exitcode).name
+    except ValueError:
+        return f"signal {-exitcode}"
+
+
 # -- observability side-channel (worker side) ---------------------------------
 
 
@@ -179,8 +272,8 @@ class _ObsSink:
 
     Arms a process-local tracer (when tracing), accumulates worker-
     lifetime totals, and ships span batches + metrics snapshots after
-    every task via ``put`` (a manager-queue ``put`` in pool workers,
-    the collector's ``on_message`` inline).  Shipping is exception-
+    every task via ``put`` (a pipe ``send`` in pool workers, the
+    collector's ``on_message`` inline).  Shipping is exception-
     guarded: observability must never take down a worker.
     """
 
@@ -222,43 +315,52 @@ class _ObsSink:
 
 
 # -- worker side --------------------------------------------------------------
-#
-# Pool workers receive the campaign-wide invariants once (initializer)
-# and task specs per dispatch.  Globals instead of closures because
-# pool initializers/workers must be module-level picklables.
-
-_WORKER_CTX = None
-_WORKER_OBS = None
 
 
-def _init_worker(campaign_seed, artifact_dir, cache_dir,
-                 obs_queue=None, trace=False, trace_capacity=65536):
-    global _WORKER_CTX, _WORKER_OBS
+def _worker_main(task_r, res_w, campaign_seed, artifact_dir, cache_dir,
+                 obs, trace, trace_capacity):
+    """Worker process entry: recv ``(task, attempt)`` assignments from
+    the supervisor, acknowledge each with a ``start`` heartbeat, run
+    under the execute contract, ship the result.  SIGINT is ignored —
+    a Ctrl-C belongs to the supervisor, which decides how to wind the
+    fleet down."""
+    try:
+        signal_mod.signal(signal_mod.SIGINT, signal_mod.SIG_IGN)
+    except (ValueError, OSError):
+        pass
     if cache_dir:
         os.environ["SIMJIT_CACHE_DIR"] = cache_dir
-    _WORKER_CTX = FleetContext(campaign_seed, artifact_dir)
-    _WORKER_OBS = None
-    if obs_queue is not None:
-        _WORKER_OBS = _ObsSink(obs_queue.put, trace,
-                               capacity=trace_capacity)
+    ctx = FleetContext(campaign_seed, artifact_dir)
 
+    def _ship(msg):
+        try:
+            res_w.send(msg)
+            return True
+        except (BrokenPipeError, OSError):
+            return False                   # parent is gone; shut down
 
-def _execute(task):
-    res = task.execute(_WORKER_CTX.campaign_seed, _WORKER_CTX)
-    if _WORKER_OBS is not None:
-        _WORKER_OBS.after_task(res)
-    return res
-
-
-def _drain(obs_queue, collector):
-    """Feed everything currently in the side-channel queue to the
-    collector (parent side, non-blocking)."""
+    sink = None
+    if obs:
+        sink = _ObsSink(lambda m: _ship(("obs", m)), trace,
+                        capacity=trace_capacity)
+    pid = os.getpid()
     while True:
         try:
-            msg = obs_queue.get_nowait()
-        except queue_mod.Empty:
-            return
-        collector.on_message(msg)
+            msg = task_r.recv()
+        except (EOFError, OSError):
+            break
+        if msg is None:
+            break
+        task, attempt = msg
+        _ship(("start", pid,
+               {"task_id": task.task_id, "attempt": attempt}))
+        res = task.execute(campaign_seed, ctx, attempt=attempt)
+        res.worker = pid
+        if sink is not None:
+            sink.after_task(res)
+        if not _ship(("result", pid,
+                      {"attempt": attempt, "result": res})):
+            break
 
 
 def _start_method(requested):
@@ -268,104 +370,503 @@ def _start_method(requested):
             else None)
 
 
+# -- supervisor (parent side) -------------------------------------------------
+
+
+class _WorkerHandle:
+    """One supervised worker: its process, pipes, and in-flight state."""
+
+    __slots__ = ("proc", "task_w", "res_r", "busy")
+
+    def __init__(self, proc, task_w, res_r):
+        self.proc = proc
+        self.task_w = task_w
+        self.res_r = res_r
+        self.busy = None    # dict(task, attempt, assigned, deadline,
+        #                         heartbeat) while a task is in flight
+
+    @property
+    def pid(self):
+        return self.proc.pid
+
+
+class _Supervisor:
+    """Crash-isolated, deadline-enforced campaign dispatch.
+
+    State machine per task: ``pending -> in-flight -> (done |
+    retry-delayed -> pending | quarantined)``.  Per worker:
+    ``idle -> busy -> (idle | dead -> respawned)``.  The loop wakes on
+    result-pipe readability, worker-sentinel death, the next deadline,
+    or the next backoff expiry — never by polling a hot loop.
+    """
+
+    POLL = 0.5                  # max sleep between bookkeeping passes
+
+    def __init__(self, campaign, todo, nworkers, retry, task_deadline,
+                 artifact_dir, cache_dir, mp_ctx, collector, trace,
+                 trace_capacity, journal):
+        self.campaign = campaign
+        self.retry = retry
+        self.task_deadline = task_deadline
+        self.artifact_dir = artifact_dir
+        self.cache_dir = cache_dir
+        self.mp = mp_ctx
+        self.collector = collector
+        self.trace = trace
+        self.trace_capacity = trace_capacity
+        self.journal = journal
+        self.nworkers = nworkers
+        self.ntotal = len(todo)
+        self.pending = deque((task, 1) for task in todo)
+        self.delayed = []           # heap of (ready, seq, task, attempt)
+        self._seq = 0
+        self.results = {}           # task_id -> final TaskResult
+        self.attempts = {}          # task_id -> [attempt record, ...]
+        self.heartbeats = {}        # task_id -> last start heartbeat
+        self.workers = []
+        self.retries = 0
+        self.respawns = 0
+        self.quarantined = []
+        self.interrupted = False
+
+    # -- lifecycle --------------------------------------------------------
+
+    def run(self):
+        try:
+            for _ in range(min(self.nworkers, self.ntotal)):
+                self.workers.append(self._spawn())
+            while len(self.results) < self.ntotal:
+                self._step()
+        except KeyboardInterrupt:
+            self.interrupted = True
+        finally:
+            self._shutdown()
+        return self
+
+    def _spawn(self):
+        task_r, task_w = self.mp.Pipe(duplex=False)
+        res_r, res_w = self.mp.Pipe(duplex=False)
+        proc = self.mp.Process(
+            target=_worker_main,
+            args=(task_r, res_w, self.campaign.seed, self.artifact_dir,
+                  self.cache_dir, self.collector is not None,
+                  self.trace, self.trace_capacity),
+            daemon=True)
+        proc.start()
+        # Close the child-end copies *immediately*: a later fork must
+        # not inherit them, or EOF/death detection on these pipes
+        # would silently stop working.
+        task_r.close()
+        res_w.close()
+        return _WorkerHandle(proc, task_w, res_r)
+
+    def _shutdown(self):
+        for w in self.workers:
+            if w.busy is None and w.proc.is_alive():
+                try:
+                    w.task_w.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+        for w in self.workers:
+            w.proc.join(timeout=0.25 if w.busy is None else 0.0)
+            if w.proc.is_alive():
+                w.proc.terminate()
+                w.proc.join(timeout=2.0)
+            if w.proc.is_alive():
+                w.proc.kill()
+                w.proc.join()
+            w.task_w.close()
+            w.res_r.close()
+        self.workers = []
+
+    # -- one scheduling pass ----------------------------------------------
+
+    def _step(self):
+        now = monotonic()
+        while self.delayed and self.delayed[0][0] <= now:
+            _, _, task, attempt = heapq.heappop(self.delayed)
+            self.pending.append((task, attempt))
+        for w in self.workers:
+            if w.busy is None and self.pending:
+                self._assign(w, *self.pending.popleft())
+
+        timeout = self.POLL
+        for w in self.workers:
+            if w.busy is not None and w.busy["deadline"] is not None:
+                timeout = min(timeout, w.busy["deadline"] - now)
+        if self.delayed:
+            timeout = min(timeout, self.delayed[0][0] - now)
+        waitables = [w.res_r for w in self.workers] \
+            + [w.proc.sentinel for w in self.workers]
+        if waitables:
+            ready = set(conn_wait(waitables, max(0.0, timeout)))
+        else:
+            # Nothing in flight: everything left is backoff-delayed.
+            sleep(max(0.0, min(timeout, self.POLL)))
+            ready = set()
+
+        for w in list(self.workers):
+            if w.res_r in ready:
+                self._drain(w)
+        for w in list(self.workers):
+            if not w.proc.is_alive():
+                # Drain once more: results sent just before death are
+                # still sitting in the pipe and must win over the
+                # crash verdict.
+                self._drain(w)
+                self._on_dead_worker(w)
+        now = monotonic()
+        for w in list(self.workers):
+            if (w.busy is not None
+                    and w.busy["deadline"] is not None
+                    and now >= w.busy["deadline"]):
+                self._on_deadline(w)
+
+    # -- dispatch ---------------------------------------------------------
+
+    def _assign(self, w, task, attempt):
+        deadline = (None if self.task_deadline is None
+                    else monotonic() + self.task_deadline)
+        try:
+            w.task_w.send((task, attempt))
+        except (BrokenPipeError, OSError):
+            # Worker died between tasks; the dead-worker pass will
+            # reap it.  Put the task back untouched.
+            self.pending.appendleft((task, attempt))
+            return
+        w.busy = {"task": task, "attempt": attempt,
+                  "assigned": monotonic(), "deadline": deadline,
+                  "heartbeat": None}
+
+    def _drain(self, w):
+        while True:
+            try:
+                if not w.res_r.poll(0):
+                    return
+                msg = w.res_r.recv()
+            except (EOFError, OSError):
+                return
+            kind = msg[0]
+            if kind == "start":
+                info = msg[2]
+                if w.busy is not None:
+                    w.busy["heartbeat"] = info
+                self.heartbeats[info["task_id"]] = info
+            elif kind == "obs":
+                if self.collector is not None:
+                    self.collector.on_message(msg[1])
+            elif kind == "result":
+                self._on_result(w, msg[2]["attempt"],
+                                msg[2]["result"])
+
+    # -- task completion / failure ----------------------------------------
+
+    def _on_result(self, w, attempt, res):
+        busy, w.busy = w.busy, None
+        task = busy["task"] if busy else None
+        if self.retry.should_retry_result(res, attempt) \
+                and task is not None:
+            self._log_attempt(res.task_id, attempt, "timeout",
+                              elapsed=res.elapsed)
+            self._schedule_retry(task, attempt, "timeout")
+            return
+        self._record(res)
+
+    def _record(self, res):
+        self.results[res.task_id] = res
+        if self.journal is not None:
+            self.journal.append(res)
+        if self.collector is not None:
+            self.collector.task_finished(res)
+
+    def _on_dead_worker(self, w):
+        busy = w.busy
+        exitcode = w.proc.exitcode
+        self._reap(w)
+        if busy is None:
+            # Died idle (between tasks): nothing to retry, just keep
+            # the pool at strength.
+            self._maybe_respawn()
+            return
+        task, attempt = busy["task"], busy["attempt"]
+        self._log_attempt(
+            task.task_id, attempt, "crash",
+            elapsed=monotonic() - busy["assigned"],
+            exitcode=exitcode, exit_signal=_exit_signal(exitcode),
+            heartbeat=busy["heartbeat"])
+        self._maybe_respawn()
+        if attempt < self.retry.max_attempts:
+            self._schedule_retry(task, attempt, "crash")
+        else:
+            self._quarantine(task)
+
+    def _on_deadline(self, w):
+        busy = w.busy
+        task, attempt = busy["task"], busy["attempt"]
+        self._kill(w)
+        self._log_attempt(
+            task.task_id, attempt, "deadline",
+            elapsed=monotonic() - busy["assigned"],
+            deadline=self.task_deadline,
+            heartbeat=busy["heartbeat"])
+        self._maybe_respawn()
+        if attempt < self.retry.max_attempts:
+            self._schedule_retry(task, attempt, "deadline")
+        else:
+            self._quarantine(task)
+
+    def _kill(self, w):
+        self._reap(w, terminate=True)
+
+    def _reap(self, w, terminate=False):
+        if terminate and w.proc.is_alive():
+            w.proc.terminate()
+            w.proc.join(timeout=2.0)
+            if w.proc.is_alive():
+                w.proc.kill()
+        w.proc.join()
+        w.task_w.close()
+        w.res_r.close()
+        self.workers.remove(w)
+
+    def _maybe_respawn(self):
+        """Keep the pool at strength while unfinished work remains."""
+        from ..telemetry import tracing
+        remaining = self.ntotal - len(self.results)
+        while len(self.workers) < min(self.nworkers, remaining):
+            self.workers.append(self._spawn())
+            self.respawns += 1
+            tracing.instant("fleet.respawn",
+                            pid=self.workers[-1].pid)
+            if self.collector is not None:
+                self.collector.worker_respawned(self.workers[-1].pid)
+
+    def _schedule_retry(self, task, attempt, reason):
+        from ..telemetry import tracing
+        delay = self.retry.delay(
+            _task_seed(task, self.campaign.seed), attempt)
+        self._seq += 1
+        heapq.heappush(self.delayed,
+                       (monotonic() + delay, self._seq, task,
+                        attempt + 1))
+        self.retries += 1
+        tracing.instant("fleet.retry", task=task.task_id,
+                        attempt=attempt + 1, reason=reason,
+                        delay=round(delay, 4))
+        if self.collector is not None:
+            self.collector.task_retried(task.task_id, attempt + 1,
+                                        reason)
+
+    def _log_attempt(self, task_id, attempt, reason, **extra):
+        entry = {"attempt": attempt, "reason": reason}
+        entry.update({k: v for k, v in extra.items() if v is not None})
+        self.attempts.setdefault(task_id, []).append(entry)
+
+    def _quarantine(self, task):
+        """Exhausted attempts without a structured result: emit a
+        deterministic ``"poisoned"`` result and move on."""
+        from ..telemetry import tracing
+        tid = task.task_id
+        history = self.attempts.get(tid, [])
+        failures = []
+        for entry in history:
+            fact = {"attempt": entry["attempt"],
+                    "reason": entry["reason"]}
+            if entry.get("exit_signal"):
+                fact["exit"] = entry["exit_signal"]
+            failures.append(fact)
+        last_hb = self.heartbeats.get(tid)
+        diagnostics = {
+            "attempts": len(history),
+            "failures": failures,
+            "last_heartbeat": ({"attempt": last_hb["attempt"],
+                                "event": "start"}
+                               if last_hb else None),
+        }
+        res = TaskResult(
+            task_id=tid, kind=task.kind, status="poisoned",
+            seed=_task_seed(task, self.campaign.seed),
+            diagnostics=diagnostics)
+        self.quarantined.append(tid)
+        tracing.instant("fleet.quarantine", task=tid,
+                        attempts=len(history))
+        if self.collector is not None:
+            self.collector.task_quarantined(tid)
+        if self.artifact_dir:
+            self._write_quarantine_artifact(tid, history, diagnostics)
+        self._record(res)
+
+    def _write_quarantine_artifact(self, tid, history, diagnostics):
+        """Full quarantine forensics (incl. wall-clock timings the
+        report must not carry) as a CI-uploadable artifact."""
+        import json
+        try:
+            path = os.path.join(self.artifact_dir,
+                                f"quarantine_{_safe_tag(tid)}.json")
+            with open(path, "w") as f:
+                json.dump({"task_id": tid,
+                           "diagnostics": diagnostics,
+                           "attempt_log": history}, f, indent=2,
+                          sort_keys=True, default=str)
+        except Exception:
+            pass
+
+
+# -- entry points -------------------------------------------------------------
+
+
 def run_campaign(campaign, nworkers=None, chunksize=None,
                  artifact_dir=None, start_method=None,
                  simjit_cache_dir=None, trace=False, progress=None,
-                 trace_capacity=65536):
+                 trace_capacity=65536, retry=None, task_deadline=None,
+                 journal=None, resume=None):
     """Run every task of ``campaign`` and aggregate the results.
 
     ``nworkers=None`` uses one worker per usable CPU; ``nworkers <= 1``
     runs inline in this process (no pool, same execute path — the
-    sequential baseline the equivalence tests compare against).
+    sequential baseline the equivalence tests compare against; note
+    inline runs have no crash isolation or process deadlines).
     ``artifact_dir`` receives failure artifacts (shrunk repros, observe
-    bundles).  ``simjit_cache_dir`` overrides the shared ``.so`` cache
-    location for workers (defaults to the inherited environment).
+    bundles, quarantine logs).  ``simjit_cache_dir`` overrides the
+    shared ``.so`` cache location for workers (defaults to the
+    inherited environment).  ``chunksize`` is accepted for backwards
+    compatibility and ignored — the supervisor assigns one task at a
+    time so it always knows exactly what is in flight where.
 
-    ``trace=True`` arms host-span tracing in every worker and merges
-    the streamed spans into :attr:`FleetResult.trace` (a
-    :class:`~repro.fleet.live.LiveCollector`); ``progress`` is an
-    optional callable invoked with the collector as messages and
-    results arrive (e.g. :class:`~repro.fleet.live.Ticker`).  Both are
-    pure side-channel: the ``repro-fleet-v1`` report bytes are
-    identical with or without them.
+    Fault tolerance: ``retry`` (a :class:`RetryPolicy`, default
+    ``RetryPolicy()``) bounds per-task attempts after worker crashes,
+    deadline overruns, and transient timeouts; ``task_deadline``
+    (seconds) is the process-level per-attempt wall-clock ceiling.
+    ``journal``/``resume`` arm the write-ahead
+    :class:`~repro.fleet.journal.Journal` (``resume`` accepts a path
+    or Journal and implies journaling to the same file; completed
+    tasks load instead of re-executing).  ``KeyboardInterrupt``
+    returns a partial result (``stats["interrupted"]``) instead of
+    raising.
 
-    Returns a :class:`FleetResult`; never raises for task-level
-    failures (see ``result.report["status"]`` / ``.failures``).
+    ``trace=True`` arms host-span tracing in every worker (plus
+    supervisor instants in the parent) and merges the streamed spans
+    into :attr:`FleetResult.trace`; ``progress`` is an optional
+    callable invoked with the collector as messages and results
+    arrive.  Both are pure side-channel: the ``repro-fleet-v1`` report
+    bytes are identical with or without them.
+
+    Returns a :class:`FleetResult`; never raises for task-level or
+    worker-level failures (see ``result.report["status"]`` /
+    ``.failures``).
     """
-    from time import perf_counter
+    from .journal import Journal
 
     if not isinstance(campaign, Campaign):
         raise TypeError(f"not a Campaign: {campaign!r}")
     nworkers = default_nworkers() if nworkers is None else int(nworkers)
-    ntasks = len(campaign.tasks)
-    nworkers = max(1, min(nworkers, ntasks))
+    retry = RetryPolicy() if retry is None else retry
     if artifact_dir:
         os.makedirs(artifact_dir, exist_ok=True)
+
+    journal_obj = None
+    completed = {}
+    if resume is not None:
+        journal_obj = (resume if isinstance(resume, Journal)
+                       else Journal.resume(resume, campaign))
+        completed = dict(journal_obj.results)
+    elif journal is not None:
+        journal_obj = Journal.create(journal, campaign)
+
+    todo = [t for t in campaign.tasks if t.task_id not in completed]
+    ntasks = len(campaign.tasks)
+    nworkers = max(1, min(nworkers, max(1, len(todo))))
 
     collector = None
     if trace or progress is not None:
         from .live import LiveCollector
         collector = LiveCollector(ntasks=ntasks, progress=progress)
+        collector.tasks_done = len(completed)
 
     start = perf_counter()
-    if nworkers <= 1:
-        results = _run_inline(campaign, artifact_dir, simjit_cache_dir,
-                              collector, trace, trace_capacity)
-    else:
-        chunksize = (default_chunksize(ntasks, nworkers)
-                     if chunksize is None else max(1, int(chunksize)))
-        mp = multiprocessing.get_context(_start_method(start_method))
-        cache_dir = simjit_cache_dir or os.environ.get("SIMJIT_CACHE_DIR")
-        obs_queue = None
-        manager = None
-        if collector is not None:
-            # A manager queue (not mp.Queue) because only proxy
-            # objects survive the trip through Pool initargs.
-            manager = mp.Manager()
-            obs_queue = manager.Queue()
-        try:
-            with mp.Pool(nworkers, initializer=_init_worker,
-                         initargs=(campaign.seed, artifact_dir,
-                                   cache_dir, obs_queue, trace,
-                                   trace_capacity)) as pool:
-                results = []
-                for res in pool.imap_unordered(
-                        _execute, campaign.tasks, chunksize=chunksize):
-                    results.append(res)
-                    if collector is not None:
-                        _drain(obs_queue, collector)
-                        collector.task_finished(res)
-                if collector is not None:
-                    # Workers put before returning a result, so by the
-                    # time every result has arrived the queue holds
-                    # every message; one last sweep empties it.
-                    _drain(obs_queue, collector)
-        finally:
-            if manager is not None:
-                manager.shutdown()
+    try:
+        if nworkers <= 1 or not todo:
+            fresh, attempts, sup_stats, interrupted = _run_inline(
+                campaign, todo, artifact_dir, simjit_cache_dir,
+                collector, trace, trace_capacity, retry, journal_obj)
+        else:
+            fresh, attempts, sup_stats, interrupted = _run_supervised(
+                campaign, todo, nworkers, retry, task_deadline,
+                artifact_dir, simjit_cache_dir, start_method,
+                collector, trace, trace_capacity, journal_obj)
+    finally:
+        if journal_obj is not None:
+            journal_obj.close()
     elapsed = perf_counter() - start
 
-    report = aggregate(campaign, results)
+    by_id = dict(completed)
+    by_id.update(fresh)
+    ordered = [by_id[t.task_id] for t in campaign.tasks
+               if t.task_id in by_id]
+    report = aggregate(campaign, ordered, partial=interrupted)
     stats = {
         "nworkers": nworkers,
         "elapsed": elapsed,
-        "throughput": ntasks / elapsed if elapsed > 0 else float("inf"),
-        "workers_used": sorted({r.worker for r in results
+        "throughput": (len(ordered) / elapsed if elapsed > 0
+                       else float("inf")),
+        "workers_used": sorted({r.worker for r in ordered
                                 if r.worker is not None}),
-        "task_elapsed": {r.task_id: r.elapsed for r in results},
-        "task_kinds": _kind_stats(results),
+        "task_elapsed": {r.task_id: r.elapsed for r in ordered},
+        "task_kinds": _kind_stats(ordered) if ordered else {},
+        "interrupted": interrupted,
+        "resumed": sorted(completed),
+        "attempts": attempts,
+        **sup_stats,
     }
-    return FleetResult(campaign, results, report, stats,
+    return FleetResult(campaign, ordered, report, stats,
                        trace=collector if trace else None)
 
 
-def _run_inline(campaign, artifact_dir, simjit_cache_dir, collector,
-                trace, trace_capacity):
-    """The ``nworkers <= 1`` path: same execute/observe pipeline, no
-    pool, messages fed straight into the collector."""
+def _run_supervised(campaign, todo, nworkers, retry, task_deadline,
+                    artifact_dir, simjit_cache_dir, start_method,
+                    collector, trace, trace_capacity, journal_obj):
+    """The ``nworkers > 1`` path: supervised worker processes."""
+    from ..telemetry import tracing
+
+    mp_ctx = multiprocessing.get_context(_start_method(start_method))
+    cache_dir = simjit_cache_dir or os.environ.get("SIMJIT_CACHE_DIR")
+    prev_tracer = tracing.active() if trace else None
+    parent_tracer = None
+    if trace:
+        # The parent records supervisor instants (fleet.retry /
+        # fleet.respawn / fleet.quarantine); workers arm their own
+        # tracers post-fork.
+        parent_tracer = tracing.arm(capacity=trace_capacity)
+    try:
+        sup = _Supervisor(campaign, todo, nworkers, retry,
+                          task_deadline, artifact_dir, cache_dir,
+                          mp_ctx, collector, trace, trace_capacity,
+                          journal_obj).run()
+    finally:
+        if trace:
+            tracing.disarm()
+            if prev_tracer is not None:
+                tracing.arm(prev_tracer)
+    if parent_tracer is not None and collector is not None:
+        records = parent_tracer.drain()
+        if records:
+            collector.on_message(("spans", os.getpid(), records))
+    stats = {"retries": sup.retries, "respawns": sup.respawns,
+             "quarantined": sorted(sup.quarantined)}
+    return sup.results, sup.attempts, stats, sup.interrupted
+
+
+def _run_inline(campaign, todo, artifact_dir, simjit_cache_dir,
+                collector, trace, trace_capacity, retry, journal_obj):
+    """The ``nworkers <= 1`` path: same execute/observe/retry/journal
+    pipeline, no pool, messages fed straight into the collector."""
     from ..telemetry import tracing
 
     ctx = FleetContext(campaign.seed, artifact_dir)
+    # Snapshot the cache-dir env var so an interrupt (or plain
+    # completion) cannot leak a mutated SIMJIT_CACHE_DIR into the
+    # calling process.
+    prev_cache = os.environ.get("SIMJIT_CACHE_DIR")
     if simjit_cache_dir:
         os.environ["SIMJIT_CACHE_DIR"] = simjit_cache_dir
     sink = None
@@ -373,18 +874,48 @@ def _run_inline(campaign, artifact_dir, simjit_cache_dir, collector,
     if collector is not None:
         sink = _ObsSink(collector.on_message, trace,
                         capacity=trace_capacity)
+    results = {}
+    attempts = {}
+    retries = 0
+    interrupted = False
     try:
-        results = []
-        for task in campaign.tasks:
-            res = task.execute(campaign.seed, ctx)
+        for task in todo:
+            attempt = 1
+            while True:
+                res = task.execute(campaign.seed, ctx, attempt=attempt)
+                if not retry.should_retry_result(res, attempt):
+                    break
+                attempts.setdefault(task.task_id, []).append(
+                    {"attempt": attempt, "reason": "timeout",
+                     "elapsed": res.elapsed})
+                delay = retry.delay(res.seed, attempt)
+                retries += 1
+                tracing.instant("fleet.retry", task=task.task_id,
+                                attempt=attempt + 1, reason="timeout",
+                                delay=round(delay, 4))
+                if collector is not None:
+                    collector.task_retried(task.task_id, attempt + 1,
+                                           "timeout")
+                sleep(delay)
+                attempt += 1
             if sink is not None:
                 sink.after_task(res)
             if collector is not None:
                 collector.task_finished(res)
-            results.append(res)
-        return results
+            if journal_obj is not None:
+                journal_obj.append(res)
+            results[task.task_id] = res
+    except KeyboardInterrupt:
+        interrupted = True
     finally:
         if trace:
             tracing.disarm()
             if prev_tracer is not None:
                 tracing.arm(prev_tracer)
+        if simjit_cache_dir:
+            if prev_cache is None:
+                os.environ.pop("SIMJIT_CACHE_DIR", None)
+            else:
+                os.environ["SIMJIT_CACHE_DIR"] = prev_cache
+    stats = {"retries": retries, "respawns": 0, "quarantined": []}
+    return results, attempts, stats, interrupted

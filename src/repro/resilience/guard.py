@@ -20,6 +20,9 @@ from __future__ import annotations
 
 import json
 import os
+import signal as signal_mod
+import threading
+from contextlib import contextmanager
 from time import perf_counter
 
 from .warnings import warn_resilience
@@ -31,6 +34,7 @@ __all__ = [
     "WatchdogTimeout",
     "diagnose_oscillation",
     "specialize_or_fallback",
+    "wall_budget_alarm",
 ]
 
 
@@ -245,6 +249,54 @@ class Watchdog:
         with open(path, "w") as f:
             json.dump(diag, f, indent=2, default=str)
         return diag
+
+
+@contextmanager
+def wall_budget_alarm(seconds, label=None):
+    """Arm a ``SIGALRM`` that raises :class:`WatchdogTimeout` after
+    ``seconds`` of wall clock, for the duration of the ``with`` block.
+
+    This is the in-process watchdog for code that does not drive a
+    single :class:`~repro.core.simulation.SimulationTool` loop (so a
+    chunked :class:`Watchdog` cannot wrap it) — most importantly fleet
+    task execution, where a pure-Python hang inside a worker becomes a
+    structured ``"timeout"`` result instead of a stuck process.  The
+    raised timeout carries ``diagnostics["kind"] == "wall-budget"``,
+    which the fleet retry policy reads as *transient* (wall clock is
+    machine noise, so the attempt is worth retrying; a cycle-budget
+    timeout is deterministic and is not).
+
+    Degrades to a no-op (plain passthrough) when ``seconds`` is
+    falsy, off the main thread, on platforms without ``SIGALRM``, or
+    when another ``SIGALRM`` handler is already doing real work —
+    arming would steal it.  A signal can only interrupt running
+    *Python*; a hang inside a C kernel is the supervisor's process-
+    level deadline's job.
+    """
+    if (not seconds
+            or not hasattr(signal_mod, "SIGALRM")
+            or threading.current_thread()
+                is not threading.main_thread()):
+        yield
+        return
+    current = signal_mod.getsignal(signal_mod.SIGALRM)
+    if current not in (signal_mod.SIG_DFL, signal_mod.SIG_IGN, None):
+        yield
+        return
+
+    def _fire(signum, frame):
+        raise WatchdogTimeout(
+            f"watchdog: task wall budget {seconds}s exceeded"
+            + (f" ({label})" if label else ""),
+            {"kind": "wall-budget", "wall_budget": seconds})
+
+    signal_mod.signal(signal_mod.SIGALRM, _fire)
+    signal_mod.setitimer(signal_mod.ITIMER_REAL, float(seconds))
+    try:
+        yield
+    finally:
+        signal_mod.setitimer(signal_mod.ITIMER_REAL, 0.0)
+        signal_mod.signal(signal_mod.SIGALRM, current)
 
 
 def specialize_or_fallback(model, specializer=None, **kwargs):

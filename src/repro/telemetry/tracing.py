@@ -28,7 +28,12 @@ Design points:
 - **Process-aware.**  Each record carries ``pid``/``tid``; fleet
   workers arm a fresh tracer post-fork and stream drained records to
   the parent, which merges them into one timeline with a pid track
-  per worker.
+  per worker.  The fleet supervisor itself records scheduling
+  instants in the parent track: ``fleet.retry`` (a failed attempt
+  was rescheduled with backoff), ``fleet.respawn`` (a dead worker
+  was replaced), and ``fleet.quarantine`` (a task exhausted its
+  attempts and was emitted as a ``"poisoned"`` result); workers
+  record a ``fleet.task`` span per attempt.
 
 Typical use::
 

@@ -217,7 +217,8 @@ def test_failing_task_returns_diagnostics_without_killing_fleet(tmp_path):
     assert report["status"] == "failed"
     assert report["failures"] == ["verif/cache/buggy"]
     assert report["counts"] == {"ok": 2, "mismatch": 1,
-                                "timeout": 0, "error": 0}
+                                "timeout": 0, "error": 0,
+                                "poisoned": 0}
     for tid in ("verif/cache/good", "verif/mesh4/good"):
         assert report["tasks"][tid]["status"] == "ok"
         assert report["tasks"][tid]["payload"]["ntransactions"] > 0
