@@ -31,10 +31,9 @@ Results land in ``benchmarks/results/BENCH_observe.json``.
 """
 
 import os
-import time
 
-from common import (build_jit_network, format_table, write_json_result,
-                    write_result)
+from common import (best_of, best_of_paired, build_jit_network,
+                    format_table, write_json_result, write_result)
 from repro import SimulationTool, set_telemetry_enabled
 from repro.observe import implies_within, rose, stable_for
 
@@ -110,45 +109,10 @@ def _build_jit_sim():
     return sim
 
 
-def _calibrate(fn):
-    ncycles = 64
-    while True:
-        start = time.process_time()
-        fn(ncycles)
-        elapsed = time.process_time() - start
-        if elapsed >= MIN_REP_SECONDS:
-            return ncycles, elapsed
-        ncycles *= 4
-
-
-def _best_of(fn):
-    ncycles, first = _calibrate(fn)
-    best = first
-    for _ in range(REPS - 1):
-        start = time.process_time()
-        fn(ncycles)
-        best = min(best, time.process_time() - start)
-    return ncycles, ncycles / best
-
-
-def _best_of_paired(fn_a, fn_b):
-    """Alternating reps so host-CPU drift hits both workloads equally
-    (same idiom as bench_telemetry_overhead)."""
-    ncycles, _ = _calibrate(fn_a)
-    best_a = best_b = float("inf")
-    for rep in range(2 * REPS):
-        first, second = (fn_a, fn_b) if rep % 2 == 0 else (fn_b, fn_a)
-        start = time.process_time()
-        first(ncycles)
-        mid = time.process_time()
-        second(ncycles)
-        end = time.process_time()
-        t_first, t_second = mid - start, end - mid
-        t_a, t_b = ((t_first, t_second) if rep % 2 == 0
-                    else (t_second, t_first))
-        best_a = min(best_a, t_a)
-        best_b = min(best_b, t_b)
-    return ncycles, ncycles / best_a, ncycles / best_b
+def _paired(fn_a, fn_b):
+    """Shared paired order-alternating harness at this bench's reps
+    (idiom of bench_telemetry_overhead; see benchmarks/common.py)."""
+    return best_of_paired(fn_a, fn_b, REPS, MIN_REP_SECONDS)
 
 
 def test_observe_overhead(benchmark):
@@ -163,14 +127,15 @@ def test_observe_overhead(benchmark):
         # one leaves run()'s fast path to sample per cycle.
         assert sim_rec.sched_info()["kernel"] is True
 
-        ncycles, off_cps, rec_cps = _best_of_paired(
-            sim_off.run, sim_rec.run)
+        pt = _paired(sim_off.run, sim_rec.run)
+        ncycles, off_cps, rec_cps = pt.ncycles, pt.cps_a, pt.cps_b
         assert recorder.nsamples >= ncycles
         entries.append({"config": "off", "cycles": ncycles,
                         "cycles_per_sec": off_cps})
         entries.append({"config": "recorder", "cycles": ncycles,
                         "cycles_per_sec": rec_cps,
                         "signals": len(recorder.signal_names),
+                        "pair_spread": pt.pair_spread,
                         "depth": DEPTH})
 
         sim_wp = _build_sim()
@@ -182,7 +147,7 @@ def test_observe_overhead(benchmark):
             implies_within(rose("routers[0].grant_val[0]"),
                            rose("routers[0].hold_val[0]"), 1 << 20),
             name="grant-held")
-        wp_cycles, wp_cps = _best_of(sim_wp.run)
+        wp_cycles, wp_cps = best_of(sim_wp.run, REPS, MIN_REP_SECONDS)
         entries.append({"config": "watchpoints", "cycles": wp_cycles,
                         "cycles_per_sec": wp_cps, "n_watchpoints": 3})
 
@@ -194,14 +159,15 @@ def test_observe_overhead(benchmark):
             signals=_recorder_signals(), depth=DEPTH)
         assert jit_rec._cidx is not None, \
             "recorder did not compile into the SimJIT kernel"
-        jcycles, joff_cps, jrec_cps = _best_of_paired(
-            sim_joff.run, sim_jrec.run)
+        jpt = _paired(sim_joff.run, sim_jrec.run)
+        jcycles, joff_cps, jrec_cps = jpt.ncycles, jpt.cps_a, jpt.cps_b
         assert jit_rec.nsamples >= jcycles
         entries.append({"config": "jit_off", "cycles": jcycles,
                         "cycles_per_sec": joff_cps})
         entries.append({"config": "jit_recorder", "cycles": jcycles,
                         "cycles_per_sec": jrec_cps,
                         "signals": len(jit_rec.signal_names),
+                        "pair_spread": jpt.pair_spread,
                         "depth": DEPTH})
 
     benchmark.pedantic(run_all, rounds=1, iterations=1)

@@ -38,10 +38,9 @@ shrinks the mesh and budgets for CI smoke runs.  Results land in
 """
 
 import os
-import time
 
-from common import (build_jit_network, format_table, write_json_result,
-                    write_result)
+from common import (best_of, best_of_paired, build_jit_network,
+                    format_table, write_json_result, write_result)
 from repro import SimulationTool, set_telemetry_enabled
 from repro.net import MeshNetworkStructural, RouterRTL
 
@@ -86,53 +85,11 @@ def _inject(net):
     net.in_[0].val.value = 1
 
 
-def _calibrate(fn):
-    """Grow the rep length until one rep runs at least MIN_REP_SECONDS
-    — idle-mesh kernel cycles are sub-microsecond, far below timer
-    resolution at fixed small N."""
-    ncycles = 64
-    while True:
-        start = time.process_time()
-        fn(ncycles)
-        elapsed = time.process_time() - start
-        if elapsed >= MIN_REP_SECONDS:
-            return ncycles, elapsed
-        ncycles *= 4
-
-
-def _best_of(fn):
-    ncycles, first = _calibrate(fn)
-    best = first
-    for _ in range(REPS - 1):
-        start = time.process_time()
-        fn(ncycles)
-        best = min(best, time.process_time() - start)
-    return ncycles, ncycles / best
-
-
-def _best_of_paired(fn_a, fn_b):
-    """Time two workloads at the same cycle count with alternating
-    reps so slow drift in host CPU speed (thermal / frequency scaling)
-    hits both equally — the only honest way to resolve a small ratio
-    between them."""
-    ncycles, _ = _calibrate(fn_a)
-    fn_b(ncycles)                   # warm up b (transients, buffers)
-    best_a = best_b = float("inf")
-    for rep in range(2 * REPS):
-        # Swap which workload goes first each rep: under thermal
-        # throttling the second slot is systematically slower.
-        first, second = (fn_a, fn_b) if rep % 2 == 0 else (fn_b, fn_a)
-        start = time.process_time()
-        first(ncycles)
-        mid = time.process_time()
-        second(ncycles)
-        end = time.process_time()
-        t_first, t_second = mid - start, end - mid
-        t_a, t_b = ((t_first, t_second) if rep % 2 == 0
-                    else (t_second, t_first))
-        best_a = min(best_a, t_a)
-        best_b = min(best_b, t_b)
-    return ncycles, ncycles / best_a, ncycles / best_b
+def _paired(fn_a, fn_b):
+    """Shared paired order-alternating harness at this bench's reps;
+    ``fn_b`` is warmed up once (transients, buffers) before timing."""
+    return best_of_paired(fn_a, fn_b, REPS, MIN_REP_SECONDS,
+                          warmup_b=True)
 
 
 def _kernel_pair():
@@ -189,8 +146,8 @@ def test_telemetry_overhead(benchmark):
     def run_all():
         # Interpreted pair: the disabled-telemetry contract.
         baseline_fn, disabled_fn = _kernel_pair()
-        ncycles, base_cps, dis_cps = _best_of_paired(
-            baseline_fn, disabled_fn)
+        pt = _paired(baseline_fn, disabled_fn)
+        ncycles, base_cps, dis_cps = pt.ncycles, pt.cps_a, pt.cps_b
         entries.append({"config": "baseline", "cycles": ncycles,
                         "cycles_per_sec": base_cps,
                         "slowdown_vs_baseline": 1.0,
@@ -198,6 +155,7 @@ def test_telemetry_overhead(benchmark):
         entries.append({"config": "disabled", "cycles": ncycles,
                         "cycles_per_sec": dis_cps,
                         "slowdown_vs_baseline": base_cps / dis_cps,
+                        "pair_spread": pt.pair_spread,
                         "equal_cycles": True})
 
         # Compiled pairs: each instrumented config against its own
@@ -224,7 +182,8 @@ def test_telemetry_overhead(benchmark):
         for config, make in (("counters", counters_cfg),
                              ("trace", trace_cfg),
                              ("recorder12", recorder_cfg)):
-            ncycles, jit_cps, cfg_cps = _best_of_paired(jit_fn, make())
+            pt = _paired(jit_fn, make())
+            ncycles, jit_cps, cfg_cps = pt.ncycles, pt.cps_a, pt.cps_b
             if first:
                 entries.append({
                     "config": "jit_baseline", "cycles": ncycles,
@@ -236,6 +195,7 @@ def test_telemetry_overhead(benchmark):
                 "config": config, "cycles": ncycles,
                 "cycles_per_sec": cfg_cps,
                 "slowdown_vs_jit_baseline": jit_cps / cfg_cps,
+                "pair_spread": pt.pair_spread,
                 "equal_cycles": True})
 
         # Profile is interpreted by design; its own cycle count.
@@ -244,7 +204,7 @@ def test_telemetry_overhead(benchmark):
         assert sim._kernel is None
         sim.reset()
         _inject(net)
-        ncycles, cps = _best_of(sim.run)
+        ncycles, cps = best_of(sim.run, REPS, MIN_REP_SECONDS)
         entries.append({"config": "profile", "cycles": ncycles,
                         "cycles_per_sec": cps,
                         "equal_cycles": False})

@@ -24,9 +24,9 @@ smoke runs.  Results land in ``benchmarks/results/BENCH_trace.json``.
 """
 
 import os
-import time
 
-from common import format_table, write_json_result, write_result
+from common import (best_of_paired, format_table, write_json_result,
+                    write_result)
 from repro import SimulationTool, set_telemetry_enabled
 from repro.telemetry import tracing
 
@@ -78,34 +78,10 @@ def _batched(sim):
     return fn
 
 
-def _calibrate(fn):
-    ncycles = 64
-    while True:
-        start = time.process_time()
-        fn(ncycles)
-        elapsed = time.process_time() - start
-        if elapsed >= MIN_REP_SECONDS:
-            return ncycles, elapsed
-        ncycles *= 4
-
-
-def _best_of_paired(fn_a, fn_b):
-    """Alternating reps so host-CPU drift hits both workloads equally."""
-    ncycles, _ = _calibrate(fn_a)
-    best_a = best_b = float("inf")
-    for rep in range(2 * REPS):
-        first, second = (fn_a, fn_b) if rep % 2 == 0 else (fn_b, fn_a)
-        start = time.process_time()
-        first(ncycles)
-        mid = time.process_time()
-        second(ncycles)
-        end = time.process_time()
-        t_first, t_second = mid - start, end - mid
-        t_a, t_b = ((t_first, t_second) if rep % 2 == 0
-                    else (t_second, t_first))
-        best_a = min(best_a, t_a)
-        best_b = min(best_b, t_b)
-    return ncycles, ncycles / best_a, ncycles / best_b
+def _paired(fn_a, fn_b):
+    """Shared paired order-alternating harness at this bench's reps
+    (see benchmarks/common.py)."""
+    return best_of_paired(fn_a, fn_b, REPS, MIN_REP_SECONDS)
 
 
 def test_trace_overhead(benchmark):
@@ -117,12 +93,13 @@ def test_trace_overhead(benchmark):
         # Disarmed: batched run()s against the single-call baseline.
         sim_base = _build_sim()
         sim_dis = _build_sim()
-        ncycles, base_cps, dis_cps = _best_of_paired(
-            sim_base.run, _batched(sim_dis))
+        pt = _paired(sim_base.run, _batched(sim_dis))
+        ncycles, base_cps, dis_cps = pt.ncycles, pt.cps_a, pt.cps_b
         entries.append({"config": "baseline", "cycles": ncycles,
                         "cycles_per_sec": base_cps})
         entries.append({"config": "disarmed", "cycles": ncycles,
                         "cycles_per_sec": dis_cps, "batch": BATCH,
+                        "pair_spread": pt.pair_spread,
                         "slowdown": base_cps / dis_cps})
 
         # Armed: same batched shape with a live tracer recording one
@@ -131,10 +108,10 @@ def test_trace_overhead(benchmark):
         sim_arm = _build_sim()
         tracer = tracing.arm()
         try:
-            ncycles2, base2_cps, arm_cps = _best_of_paired(
-                sim_base2.run, _batched(sim_arm))
+            pt2 = _paired(sim_base2.run, _batched(sim_arm))
         finally:
             tracing.disarm()
+        ncycles2, base2_cps, arm_cps = pt2.ncycles, pt2.cps_a, pt2.cps_b
         # The armed run really recorded (ring may have evicted the
         # oldest, hence >= via dropped + retained).
         nspans = len(tracer) + tracer.dropped
@@ -143,6 +120,7 @@ def test_trace_overhead(benchmark):
         entries.append({"config": "armed", "cycles": ncycles2,
                         "cycles_per_sec": arm_cps, "batch": BATCH,
                         "nspans": nspans,
+                        "pair_spread": pt2.pair_spread,
                         "slowdown": base2_cps / arm_cps})
         entries.append({"config": "baseline2", "cycles": ncycles2,
                         "cycles_per_sec": base2_cps})

@@ -14,6 +14,7 @@ Provides:
 from __future__ import annotations
 
 import os
+import sys
 import time
 
 from repro.core.simjit import SimJITCL, SimJITRTL
@@ -227,6 +228,125 @@ def time_c_reference(level, nrouters, ncycles, rate=0.25, seed=1):
     return time.perf_counter() - start
 
 
+# -- paired order-alternating timing harness ------------------------------------------
+#
+# One shared implementation of the measurement idiom every overhead
+# bench uses (and the insight gate consumes): calibrate the rep length
+# until one rep clears the timer floor, then time the two workloads in
+# alternating order so slow drift in host CPU speed (thermal /
+# frequency scaling) hits both equally — the only honest way to
+# resolve a small ratio between them.
+
+
+class PairedTiming:
+    """Result of one paired order-alternating measurement.
+
+    Holds the per-rep times for both workloads (same ``ncycles``
+    each), exposes best-of rates, the paired slowdown estimate, and
+    ``pair_spread`` — the relative spread of the per-rep slowdown
+    ratios, i.e. the *observed* noise floor of this measurement.  The
+    regression gate (:mod:`repro.insight.gate`) widens its tolerance
+    by a multiple of this recorded spread, so noisy hosts gate
+    loosely and quiet hosts gate tightly.
+    """
+
+    def __init__(self, ncycles, times_a, times_b):
+        self.ncycles = ncycles
+        self.times_a = list(times_a)
+        self.times_b = list(times_b)
+
+    @property
+    def best_a(self):
+        return min(self.times_a)
+
+    @property
+    def best_b(self):
+        return min(self.times_b)
+
+    @property
+    def cps_a(self):
+        return self.ncycles / self.best_a
+
+    @property
+    def cps_b(self):
+        return self.ncycles / self.best_b
+
+    @property
+    def slowdown(self):
+        """Best-of paired slowdown of b relative to a."""
+        return self.best_b / self.best_a
+
+    @property
+    def pair_spread(self):
+        """Relative spread of the per-rep b/a ratios: how much the
+        slowdown estimate itself wobbled across reps."""
+        ratios = [tb / ta for ta, tb in zip(self.times_a, self.times_b)
+                  if ta > 0]
+        if len(ratios) < 2:
+            return 0.0
+        low = min(ratios)
+        return (max(ratios) - low) / low if low > 0 else 0.0
+
+    def __iter__(self):
+        # Legacy tuple shape: (ncycles, cps_a, cps_b).
+        return iter((self.ncycles, self.cps_a, self.cps_b))
+
+
+def calibrate(fn, min_rep_seconds, start_cycles=64):
+    """Grow the rep length until one rep runs at least
+    ``min_rep_seconds`` — idle-mesh kernel cycles are sub-microsecond,
+    far below timer resolution at fixed small N."""
+    ncycles = start_cycles
+    while True:
+        start = time.process_time()
+        fn(ncycles)
+        elapsed = time.process_time() - start
+        if elapsed >= min_rep_seconds:
+            return ncycles, elapsed
+        ncycles *= 4
+
+
+def best_of(fn, reps, min_rep_seconds):
+    """Best-of-``reps`` rate for a single workload: (ncycles, cyc/s)."""
+    ncycles, first = calibrate(fn, min_rep_seconds)
+    best = first
+    for _ in range(reps - 1):
+        start = time.process_time()
+        fn(ncycles)
+        best = min(best, time.process_time() - start)
+    return ncycles, ncycles / best
+
+
+def best_of_paired(fn_a, fn_b, reps, min_rep_seconds, warmup_b=False):
+    """Time two workloads at the same cycle count with alternating
+    reps; returns a :class:`PairedTiming`.
+
+    Which workload goes first swaps every rep: under thermal
+    throttling the second slot is systematically slower, and the
+    alternation cancels that bias out of the ratio.  ``warmup_b``
+    runs ``fn_b`` once at the calibrated length before timing starts
+    (``fn_a`` is warm from calibration) — for workloads with one-shot
+    transients like buffer growth.
+    """
+    ncycles, _ = calibrate(fn_a, min_rep_seconds)
+    if warmup_b:
+        fn_b(ncycles)
+    times_a, times_b = [], []
+    for rep in range(2 * reps):
+        first, second = (fn_a, fn_b) if rep % 2 == 0 else (fn_b, fn_a)
+        start = time.process_time()
+        first(ncycles)
+        mid = time.process_time()
+        second(ncycles)
+        end = time.process_time()
+        t_first, t_second = mid - start, end - mid
+        t_a, t_b = ((t_first, t_second) if rep % 2 == 0
+                    else (t_second, t_first))
+        times_a.append(t_a)
+        times_b.append(t_b)
+    return PairedTiming(ncycles, times_a, times_b)
+
+
 # -- reporting -----------------------------------------------------------------------
 
 
@@ -256,15 +376,43 @@ def git_sha():
         return "unknown"
 
 
+def host_fingerprint():
+    """Describe the measuring host: cpu budget, arch, interpreter.
+
+    Stamped into every ``repro-bench-v1`` envelope so the regression
+    gate can tell a same-host A/B comparison from a cross-machine one
+    (absolute rates only transfer within the former).
+    """
+    import platform
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        cpus = os.cpu_count() or 1
+    return {
+        "host_cpus": cpus,
+        "machine": platform.machine(),
+        "platform": sys.platform,
+        "python": platform.python_version(),
+    }
+
+
 def write_json_result(name, results, **extra):
     """Persist machine-readable benchmark output as ``BENCH_<name>.json``.
 
     ``results`` is a list of measurement dicts (design, mode,
-    cycles_per_sec, ...); the envelope stamps the git sha so numbers
-    stay attributable after the fact.
+    cycles_per_sec, ...).  The ``repro-bench-v1`` envelope stamps the
+    schema id, the git sha, and the host fingerprint so numbers stay
+    attributable — and gateable (:mod:`repro.insight.gate`) — after
+    the fact.
     """
     import json
-    payload = {"bench": name, "git_sha": git_sha(), "results": results}
+    payload = {
+        "schema": "repro-bench-v1",
+        "bench": name,
+        "git_sha": git_sha(),
+        "host": host_fingerprint(),
+        "results": results,
+    }
     payload.update(extra)
     os.makedirs(RESULTS_DIR, exist_ok=True)
     path = os.path.join(RESULTS_DIR, f"BENCH_{name}.json")

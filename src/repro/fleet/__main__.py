@@ -16,6 +16,12 @@ final report bytes match an uninterrupted run); ``--max-attempts`` /
 wall-clock ceiling; ``--chaos`` installs a deterministic sabotage
 plan (JSON, see :mod:`repro.fleet.chaos`) for exercising all of the
 above.
+
+Observability: ``--live`` draws a stderr ticker, ``--trace`` writes
+the merged Perfetto timeline, and ``--metrics-port`` serves the live
+collector as a scrape-able OpenMetrics endpoint
+(:mod:`repro.insight.metricsd`) for the duration of the run.  None of
+them change the report bytes.
 """
 
 from __future__ import annotations
@@ -65,6 +71,13 @@ def main(argv=None):
                         help="deterministic fault-injection plan "
                              "(JSON list of events, e.g. "
                              "'[{\"index\": 0, \"mode\": \"kill\"}]')")
+    parser.add_argument("--metrics-port", type=int, default=None,
+                        metavar="PORT",
+                        help="serve live campaign metrics as "
+                             "OpenMetrics text on this port while "
+                             "the run lasts (0 = OS-assigned; see "
+                             "repro.insight.metricsd); report bytes "
+                             "are unaffected")
     args = parser.parse_args(argv)
 
     campaign = demo_campaign(seed=args.seed, scale=args.scale)
@@ -76,6 +89,9 @@ def main(argv=None):
         print(f"chaos: {len(plan)} event(s) installed")
     ticker = Ticker() if args.live else None
     retry = RetryPolicy(max_attempts=args.max_attempts)
+    if args.metrics_port is not None:
+        print(f"metrics: serving OpenMetrics on port "
+              f"{args.metrics_port or '(OS-assigned)'} at /metrics")
     res = run_campaign(campaign, nworkers=args.workers,
                        artifact_dir=args.out,
                        trace=args.trace is not None,
@@ -83,7 +99,8 @@ def main(argv=None):
                        retry=retry,
                        task_deadline=args.task_deadline,
                        journal=args.journal,
-                       resume=args.resume)
+                       resume=args.resume,
+                       metrics_port=args.metrics_port)
     if ticker is not None:
         ticker.close()
     if args.chaos is not None:

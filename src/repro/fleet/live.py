@@ -45,21 +45,40 @@ from ..telemetry.tracing import spans_to_events
 __all__ = ["LiveCollector", "Ticker", "worker_snapshot"]
 
 
+def _maxrss_bytes(ru_maxrss, platform=None):
+    """Normalize ``ru_maxrss`` to bytes.
+
+    getrusage reports it in *kilobytes on Linux* but *bytes on macOS*
+    (an old BSD divergence); every consumer here — the Ticker line,
+    the Perfetto RSS counter track, the OpenMetrics endpoint — wants
+    one unit, so the platform quirk is erased at the source.
+    """
+    platform = sys.platform if platform is None else platform
+    if platform == "darwin":
+        return int(ru_maxrss)
+    return int(ru_maxrss) * 1024
+
+
 def worker_snapshot(tasks_done, tasks_failed, cycles, counters=None):
     """Build one worker metrics snapshot (runs worker-side).
 
-    ``ru_maxrss`` is kilobytes on Linux; cumulative counts cover the
-    life of the worker process.
+    RSS is normalized to bytes (see :func:`_maxrss_bytes`);
+    cumulative counts cover the life of the worker process.  ``ts``
+    is the ``perf_counter_ns`` sample time — the same clock the span
+    tracer stamps records with, so RSS counter samples land on the
+    merged campaign timeline correctly.
     """
     import resource
+    from time import perf_counter_ns
     usage = resource.getrusage(resource.RUSAGE_SELF)
     return {
         "tasks_done": tasks_done,
         "tasks_failed": tasks_failed,
         "cycles": cycles,
-        "rss_kb": usage.ru_maxrss,
+        "rss_bytes": _maxrss_bytes(usage.ru_maxrss),
         "cpu_seconds": usage.ru_utime + usage.ru_stime,
         "counters": dict(counters or {}),
+        "ts": perf_counter_ns(),
     }
 
 
@@ -146,9 +165,10 @@ class LiveCollector:
         return self.cycles / elapsed if elapsed > 0 else 0.0
 
     @property
-    def rss_kb(self):
-        """Peak RSS summed across workers (kilobytes)."""
-        return sum(snap.get("rss_kb", 0)
+    def rss_bytes(self):
+        """Peak RSS summed across workers (bytes; snapshots are
+        normalized worker-side, see :func:`_maxrss_bytes`)."""
+        return sum(snap.get("rss_bytes", 0)
                    for snap in self.metrics_by_pid.values())
 
     def counter_totals(self):
@@ -182,11 +202,22 @@ class LiveCollector:
             all_records.extend(records)
         # One shared time base so all pid tracks align: fork + the
         # perf_counter_ns clock give every worker the same epoch.
-        base_ns = min((r["ts"] for r in all_records), default=0)
+        stamps = [r["ts"] for r in all_records]
+        stamps.extend(snap["ts"]
+                      for snap in self.metrics_by_pid.values()
+                      if "ts" in snap)
+        base_ns = min(stamps, default=0)
         for pid in sorted(self.spans_by_pid):
             records = sorted(self.spans_by_pid[pid],
                              key=lambda r: r["ts"])
             events.extend(spans_to_events(records, base_ns=base_ns))
+        for pid in sorted(self.metrics_by_pid):
+            snap = self.metrics_by_pid[pid]
+            if "ts" not in snap:
+                continue
+            events.append(traceevent.counter(
+                "rss_mb", pid, (snap["ts"] - base_ns) / 1e3,
+                {"rss_mb": snap.get("rss_bytes", 0) / (1024.0 ** 2)}))
         metadata = {"unit": "1us = 1us host wall clock"}
         if campaign is not None:
             metadata["campaign"] = campaign.name
@@ -223,7 +254,7 @@ class Ticker:
         line = (f"[fleet] {collector.tasks_done}/{total} tasks"
                 f"  fail={collector.tasks_failed}"
                 f"  {collector.cycles_per_sec:,.0f} cyc/s"
-                f"  rss={collector.rss_kb / 1024.0:.0f}MB"
+                f"  rss={collector.rss_bytes / (1024.0 ** 2):.0f}MB"
                 f"  {collector.elapsed:.1f}s")
         if collector.retries or collector.respawns:
             line += (f"  retry={collector.retries}"

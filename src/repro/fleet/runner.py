@@ -719,7 +719,8 @@ def run_campaign(campaign, nworkers=None, chunksize=None,
                  artifact_dir=None, start_method=None,
                  simjit_cache_dir=None, trace=False, progress=None,
                  trace_capacity=65536, retry=None, task_deadline=None,
-                 journal=None, resume=None):
+                 journal=None, resume=None, metrics_port=None,
+                 metrics_host="127.0.0.1"):
     """Run every task of ``campaign`` and aggregate the results.
 
     ``nworkers=None`` uses one worker per usable CPU; ``nworkers <= 1``
@@ -748,8 +749,12 @@ def run_campaign(campaign, nworkers=None, chunksize=None,
     supervisor instants in the parent) and merges the streamed spans
     into :attr:`FleetResult.trace`; ``progress`` is an optional
     callable invoked with the collector as messages and results
-    arrive.  Both are pure side-channel: the ``repro-fleet-v1`` report
-    bytes are identical with or without them.
+    arrive.  ``metrics_port`` (0 = OS-assigned; the bound port lands
+    in ``stats["metrics_port"]``) serves the live collector as
+    OpenMetrics text on ``http://metrics_host:port/metrics`` for the
+    duration of the run (see :mod:`repro.insight.metricsd`).  All
+    three are pure side-channel: the ``repro-fleet-v1`` report bytes
+    are identical with or without them.
 
     Returns a :class:`FleetResult`; never raises for task-level or
     worker-level failures (see ``result.report["status"]`` /
@@ -778,10 +783,18 @@ def run_campaign(campaign, nworkers=None, chunksize=None,
     nworkers = max(1, min(nworkers, max(1, len(todo))))
 
     collector = None
-    if trace or progress is not None:
+    if trace or progress is not None or metrics_port is not None:
         from .live import LiveCollector
         collector = LiveCollector(ntasks=ntasks, progress=progress)
         collector.tasks_done = len(completed)
+
+    metrics_server = None
+    if metrics_port is not None:
+        from ..insight.metricsd import MetricsServer
+        from ..telemetry.promexport import render_collector
+        metrics_server = MetricsServer(
+            lambda: render_collector(collector),
+            port=metrics_port, host=metrics_host).start()
 
     start = perf_counter()
     try:
@@ -794,6 +807,10 @@ def run_campaign(campaign, nworkers=None, chunksize=None,
                 campaign, todo, nworkers, retry, task_deadline,
                 artifact_dir, simjit_cache_dir, start_method,
                 collector, trace, trace_capacity, journal_obj)
+    except BaseException:
+        if metrics_server is not None:
+            metrics_server.stop()
+        raise
     finally:
         if journal_obj is not None:
             journal_obj.close()
@@ -818,6 +835,9 @@ def run_campaign(campaign, nworkers=None, chunksize=None,
         "attempts": attempts,
         **sup_stats,
     }
+    if metrics_server is not None:
+        stats["metrics_port"] = metrics_server.port
+        metrics_server.stop()
     return FleetResult(campaign, ordered, report, stats,
                        trace=collector if trace else None)
 

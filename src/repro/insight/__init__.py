@@ -1,0 +1,53 @@
+"""Insight plane: consuming the observability artifacts.
+
+Every other subsystem *produces* deterministic artifacts — the
+``repro-telemetry-v1`` report (:mod:`repro.telemetry.export`), the
+``repro-observe-v1`` forensics bundle (:mod:`repro.observe.forensics`),
+the ``repro-fleet-v1`` campaign report (:mod:`repro.fleet.aggregate`),
+and the ``repro-bench-v1`` benchmark envelopes under
+``benchmarks/results/``.  This package is the layer that *consumes*
+them:
+
+- :mod:`~repro.insight.loaders` — schema-validated readers for every
+  report family, with one-line diagnostics instead of tracebacks;
+- :mod:`~repro.insight.diff` — structural diff of two reports into a
+  stable, sorted ``repro-insight-v1`` dict (bit-exact fast path,
+  per-section drift otherwise);
+- :mod:`~repro.insight.gate` — noise-aware perf-regression gating of
+  benchmark envelopes against a committed baseline store, reusing the
+  paired order-alternating timing statistics the benches record;
+- :mod:`~repro.insight.metricsd` — a stdlib HTTP thread serving
+  OpenMetrics text (see :mod:`repro.telemetry.promexport`) for live
+  fleet campaigns (``run_campaign(metrics_port=...)``);
+- ``python -m repro.insight`` — the ``diff`` / ``gate`` / ``report``
+  CLI with markdown/HTML summaries and CI-friendly exit codes.
+
+See TUTORIAL.md chapter 15 and DESIGN.md section 1.13.
+"""
+
+from __future__ import annotations
+
+from .diff import SCHEMA as INSIGHT_SCHEMA
+from .diff import diff_reports
+from .gate import GateResult, gate_bench
+from .loaders import (
+    InsightError,
+    load_bench,
+    load_json,
+    load_report,
+    validate_report,
+)
+from .metricsd import MetricsServer
+
+__all__ = [
+    "INSIGHT_SCHEMA",
+    "GateResult",
+    "InsightError",
+    "MetricsServer",
+    "diff_reports",
+    "gate_bench",
+    "load_bench",
+    "load_json",
+    "load_report",
+    "validate_report",
+]

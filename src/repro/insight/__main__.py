@@ -1,0 +1,228 @@
+"""CLI: diff, gate, and summarize observability artifacts.
+
+::
+
+    python -m repro.insight diff  runA/report.json runB/report.json
+    python -m repro.insight gate  benchmarks/results/BENCH_telemetry.json
+    python -m repro.insight report fleet_out/report.json --html out.html
+
+Exit codes (CI-stable):
+
+- ``0`` — reports bit-exact / gate passed / report rendered;
+- ``1`` — drift found (the drifted keys are printed) / gate failed;
+- ``2`` — bad input: missing file, truncated JSON, wrong schema —
+  one line on stderr, never a traceback.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .diff import diff_reports, render_html, render_markdown
+from .gate import (
+    DEFAULT_BASELINE_DIR,
+    gate_bench,
+    resolve_baseline,
+)
+from .loaders import InsightError, load_bench, load_report
+
+__all__ = ["main"]
+
+
+def _write(path, text):
+    if path:
+        with open(path, "w") as handle:
+            handle.write(text)
+
+
+def _emit(args, markdown, payload, title, status):
+    _write(args.md, markdown)
+    _write(getattr(args, "json_out", None),
+           json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    _write(args.html, render_html(markdown, title=title, status=status))
+
+
+def _cmd_diff(args):
+    _, rep_a = load_report(args.a)
+    _, rep_b = load_report(args.b)
+    insight = diff_reports(rep_a, rep_b, label_a=args.a,
+                           label_b=args.b)
+    markdown = render_markdown(insight)
+    status = ("bit-exact" if insight["identical"]
+              else f"{insight['n_drifts']} drift(s)")
+    _emit(args, markdown, insight,
+          title=f"insight diff — {insight['input_schema']}",
+          status=status)
+    if insight["identical"]:
+        print(f"bit-exact: {args.a} == {args.b} "
+              f"({insight['input_schema']})")
+        return 0
+    print(f"drift: {insight['n_drifts']} key(s) differ "
+          f"({insight['input_schema']})")
+    for key in insight["drifted_keys"][:50]:
+        print(f"  {key}")
+    if insight["n_drifts"] > 50:
+        print(f"  ... {insight['n_drifts'] - 50} more")
+    return 1
+
+
+def _cmd_gate(args):
+    candidate = load_bench(args.candidate)
+    if args.baseline:
+        baseline = load_bench(args.baseline)
+        baseline_path = args.baseline
+    else:
+        baseline, baseline_path = resolve_baseline(
+            args.candidate, args.baseline_dir)
+    result = gate_bench(baseline, candidate,
+                        rel_tolerance=args.tolerance,
+                        spread_k=args.spread_k,
+                        absolute=args.absolute)
+    markdown = result.render_markdown()
+    status = "PASS" if result.passed else "FAIL"
+    _emit(args, markdown, result.to_dict(),
+          title=f"insight gate — {result.bench}", status=status)
+    print(f"gate {status}: {args.candidate} vs {baseline_path}")
+    for check in result.failures:
+        print(f"  {check['verdict']}: {check['key']} "
+              f"{check['metric']} "
+              f"{check.get('baseline')} -> {check.get('candidate')}")
+    return 0 if result.passed else 1
+
+
+def _summarize(schema, report, path):
+    lines = [f"# insight report — {schema}", f"- source: `{path}`"]
+    if schema == "repro-fleet-v1":
+        lines += [
+            f"- campaign: `{report['campaign']}` "
+            f"(seed {report['seed']}, {report['ntasks']} tasks)",
+            f"- status: **{report['status']}**  counts: "
+            f"`{json.dumps(report['counts'], sort_keys=True)}`",
+        ]
+        for tid in report.get("failures", []):
+            lines.append(
+                f"- failure `{tid}`: "
+                f"{report['tasks'][tid]['status']}")
+        counters = (report.get("telemetry") or {}).get("counters", {})
+        if counters:
+            lines.append("")
+            lines.append("## top counters")
+            top = sorted(counters.items(),
+                         key=lambda kv: (-kv[1], kv[0]))[:15]
+            for name, value in top:
+                lines.append(f"- `{name}` = {value}")
+        coverage = report.get("coverage", {})
+        if coverage:
+            lines.append("")
+            lines.append("## coverage")
+            for group in sorted(coverage):
+                bins = coverage[group]
+                hit = sum(1 for v in bins.values() if v)
+                lines.append(f"- `{group}`: {hit}/{len(bins)} bins hit")
+    elif schema == "repro-telemetry-v1":
+        lines += [
+            f"- design: `{report['design']}` "
+            f"({report['ncycles']} cycles)",
+            f"- counters: {len(report.get('counters', {}))}, "
+            f"histograms: {len(report.get('histograms', {}))}",
+        ]
+    elif schema == "repro-bench-v1":
+        host = report.get("host", {})
+        lines += [
+            f"- bench: `{report['bench']}` "
+            f"({len(report['results'])} result rows)",
+            f"- host: {json.dumps(host, sort_keys=True)}",
+        ]
+        for entry in report["results"]:
+            row = {k: v for k, v in sorted(entry.items())}
+            lines.append(f"- `{json.dumps(row, sort_keys=True)}`")
+    else:
+        lines.append("")
+        lines.append("```json")
+        lines.append(json.dumps(report, indent=2, sort_keys=True))
+        lines.append("```")
+    return "\n".join(lines) + "\n"
+
+
+def _cmd_report(args):
+    if args.input.endswith(".json") and "BENCH_" in args.input:
+        report = load_bench(args.input)
+        schema = "repro-bench-v1"
+    else:
+        schema, report = load_report(args.input)
+    markdown = _summarize(schema, report, args.input)
+    _emit(args, markdown, report,
+          title=f"insight report — {schema}", status=schema)
+    if not (args.md or args.html):
+        sys.stdout.write(markdown)
+    else:
+        print(f"report: {schema} summary written")
+    return 0
+
+
+def _add_output_args(parser):
+    parser.add_argument("--md", metavar="PATH", default=None,
+                        help="write the markdown summary here")
+    parser.add_argument("--html", metavar="PATH", default=None,
+                        help="write a self-contained HTML summary "
+                             "here (the CI artifact)")
+    parser.add_argument("--json", dest="json_out", metavar="PATH",
+                        default=None,
+                        help="write the full repro-insight-v1 dict "
+                             "here")
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.insight",
+        description="Diff, gate, and summarize repro observability "
+                    "artifacts.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_diff = sub.add_parser(
+        "diff", help="structural diff of two same-schema reports")
+    p_diff.add_argument("a", help="baseline report JSON")
+    p_diff.add_argument("b", help="candidate report JSON")
+    _add_output_args(p_diff)
+    p_diff.set_defaults(fn=_cmd_diff)
+
+    p_gate = sub.add_parser(
+        "gate", help="noise-aware perf gate of a repro-bench-v1 "
+                     "envelope against its committed baseline")
+    p_gate.add_argument("candidate", help="candidate BENCH_*.json")
+    p_gate.add_argument("--baseline", metavar="PATH", default=None,
+                        help="explicit baseline envelope (default: "
+                             "same basename under --baseline-dir)")
+    p_gate.add_argument("--baseline-dir", metavar="DIR",
+                        default=DEFAULT_BASELINE_DIR,
+                        help=f"committed baseline store (default "
+                             f"{DEFAULT_BASELINE_DIR})")
+    p_gate.add_argument("--tolerance", type=float, default=0.10,
+                        help="relative tolerance floor (default 0.10)")
+    p_gate.add_argument("--spread-k", type=float, default=3.0,
+                        help="multiple of the recorded pairwise "
+                             "spread added to the gate (default 3)")
+    p_gate.add_argument("--absolute", action="store_true",
+                        help="also gate machine-dependent rate "
+                             "metrics (same-host A/B runs only)")
+    _add_output_args(p_gate)
+    p_gate.set_defaults(fn=_cmd_gate)
+
+    p_report = sub.add_parser(
+        "report", help="human summary of any repro-* artifact")
+    p_report.add_argument("input", help="report/envelope JSON")
+    _add_output_args(p_report)
+    p_report.set_defaults(fn=_cmd_report)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except InsightError as exc:
+        print(f"insight: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,343 @@
+"""Structural diff of two reports -> a ``repro-insight-v1`` dict.
+
+The fast path is the determinism property itself: if the canonical
+serializations match, the answer is "bit-exact" and nothing else is
+computed.  Otherwise the diff is *schema-aware*: the sections a
+campaign or telemetry report is made of get typed drift records
+(counter deltas, coverage-bin gains/losses, histogram deltas with
+summaries recomputed from the merged bins, task-status transitions
+like ``ok->poisoned``) instead of a wall of JSON noise; every other
+leaf falls through to a generic flat path diff.
+
+The output dict is **stable**: keys sorted, drift lists sorted, no
+wall-clock — diffing the same pair twice yields byte-identical
+``repro-insight-v1`` text, so insight reports are themselves diffable
+and committable artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+
+from ..telemetry.counters import Histogram
+from .loaders import InsightError, validate_report
+
+__all__ = ["SCHEMA", "diff_reports", "render_markdown", "render_html"]
+
+SCHEMA = "repro-insight-v1"
+
+#: flat-diff leaves reported at most this many per section; the
+#: remainder is counted, never silently dropped.
+MAX_FLAT = 200
+
+
+def _canon(report):
+    return json.dumps(report, sort_keys=True, separators=(",", ":"))
+
+
+def _numeric_map_diff(a, b):
+    """Diff two ``{name: number}`` maps into changed/added/removed."""
+    a, b = a or {}, b or {}
+    changed = {}
+    for name in sorted(set(a) & set(b)):
+        if a[name] != b[name]:
+            entry = {"a": a[name], "b": b[name]}
+            if isinstance(a[name], (int, float)) \
+                    and isinstance(b[name], (int, float)):
+                entry["delta"] = b[name] - a[name]
+            changed[name] = entry
+    added = {name: b[name] for name in sorted(set(b) - set(a))}
+    removed = {name: a[name] for name in sorted(set(a) - set(b))}
+    if not (changed or added or removed):
+        return None
+    return {"changed": changed, "added": added, "removed": removed}
+
+
+def _coverage_diff(a, b):
+    """Per coverage group: bins gained/lost and count drift."""
+    a, b = a or {}, b or {}
+    gained, lost, changes = {}, {}, {}
+    for group in sorted(set(a) | set(b)):
+        bins_a, bins_b = a.get(group, {}), b.get(group, {})
+        g = sorted(n for n in bins_b
+                   if bins_b[n] and not bins_a.get(n))
+        l = sorted(n for n in bins_a
+                   if bins_a[n] and not bins_b.get(n))
+        c = {n: {"a": bins_a[n], "b": bins_b[n],
+                 "delta": bins_b[n] - bins_a[n]}
+             for n in sorted(set(bins_a) & set(bins_b))
+             if bins_a[n] != bins_b[n]}
+        if g:
+            gained[group] = g
+        if l:
+            lost[group] = l
+        if c:
+            changes[group] = c
+    if not (gained or lost or changes):
+        return None
+    return {"gained_bins": gained, "lost_bins": lost,
+            "count_changes": changes}
+
+
+def _hist_summary(data):
+    """Recompute count/mean/min/max from the bins — never trust the
+    stored summary fields of a possibly hand-edited report."""
+    hist = Histogram.from_dict(data)
+    return {"count": hist.count, "mean": hist.mean,
+            "min": hist.min, "max": hist.max,
+            "nbins": len(hist.bins)}
+
+
+def _histograms_diff(a, b):
+    a, b = a or {}, b or {}
+    changed = {}
+    for name in sorted(set(a) & set(b)):
+        if (a[name] or {}).get("bins") == (b[name] or {}).get("bins"):
+            continue
+        sum_a, sum_b = _hist_summary(a[name]), _hist_summary(b[name])
+        bins_a = dict((a[name] or {}).get("bins") or [])
+        bins_b = dict((b[name] or {}).get("bins") or [])
+        changed[name] = {
+            "a": sum_a,
+            "b": sum_b,
+            "count_delta": sum_b["count"] - sum_a["count"],
+            "mean_delta": sum_b["mean"] - sum_a["mean"],
+            "bins_added": sorted(set(bins_b) - set(bins_a)),
+            "bins_removed": sorted(set(bins_a) - set(bins_b)),
+            "bins_changed": sorted(
+                v for v in set(bins_a) & set(bins_b)
+                if bins_a[v] != bins_b[v]),
+        }
+    added = {name: _hist_summary(b[name])
+             for name in sorted(set(b) - set(a))}
+    removed = {name: _hist_summary(a[name])
+               for name in sorted(set(a) - set(b))}
+    if not (changed or added or removed):
+        return None
+    return {"changed": changed, "added": added, "removed": removed}
+
+
+def _tasks_diff(a, b):
+    """Status transitions (``ok->poisoned``), membership changes, and
+    which shared tasks drifted in payload/coverage/telemetry."""
+    a, b = a or {}, b or {}
+    transitions = {}
+    drifted = []
+    for tid in sorted(set(a) & set(b)):
+        ea, eb = a[tid], b[tid]
+        if ea.get("status") != eb.get("status"):
+            transitions[tid] = f"{ea.get('status')}->{eb.get('status')}"
+        elif ea != eb:
+            drifted.append(tid)
+    added = sorted(set(b) - set(a))
+    removed = sorted(set(a) - set(b))
+    if not (transitions or drifted or added or removed):
+        return None
+    return {"transitions": transitions, "drifted": drifted,
+            "added": added, "removed": removed}
+
+
+def _flatten(value, prefix, out):
+    if isinstance(value, dict):
+        for key in value:
+            _flatten(value[key], f"{prefix}.{key}" if prefix else str(key),
+                     out)
+    else:
+        out[prefix] = value
+
+
+def _flat_diff(a, b, skip=()):
+    """Generic leaf-path diff (lists compared wholesale).  ``skip``
+    names top-level keys already covered by a typed section."""
+    flat_a, flat_b = {}, {}
+    _flatten({k: v for k, v in a.items() if k not in skip}, "", flat_a)
+    _flatten({k: v for k, v in b.items() if k not in skip}, "", flat_b)
+    paths = sorted(set(flat_a) | set(flat_b))
+    changed = {}
+    overflow = 0
+    for path in paths:
+        in_a, in_b = path in flat_a, path in flat_b
+        if in_a and in_b and flat_a[path] == flat_b[path]:
+            continue
+        if len(changed) >= MAX_FLAT:
+            overflow += 1
+            continue
+        changed[path] = {
+            "a": flat_a[path] if in_a else None,
+            "b": flat_b[path] if in_b else None,
+        }
+    if not changed:
+        return None
+    result = {"changed": changed}
+    if overflow:
+        result["omitted"] = overflow
+    return result
+
+
+#: schema -> ((section name, extractor, differ), ...).  Extractors
+#: pull the section sub-dict out of a report; everything they claim is
+#: excluded from the generic flat diff via the top-level key.
+def _fleet_sections():
+    return (
+        ("counters", ("telemetry",),
+         lambda r: (r.get("telemetry") or {}).get("counters"),
+         _numeric_map_diff),
+        ("histograms", ("telemetry",),
+         lambda r: (r.get("telemetry") or {}).get("histograms"),
+         _histograms_diff),
+        ("coverage", ("coverage",), lambda r: r.get("coverage"),
+         _coverage_diff),
+        ("tasks", ("tasks",), lambda r: r.get("tasks"), _tasks_diff),
+    )
+
+
+def _telemetry_sections():
+    return (
+        ("counters", ("counters",), lambda r: r.get("counters"),
+         _numeric_map_diff),
+        ("derived", ("derived",), lambda r: r.get("derived"),
+         _numeric_map_diff),
+        ("leaf_totals", ("leaf_totals",), lambda r: r.get("leaf_totals"),
+         _numeric_map_diff),
+        ("histograms", ("histograms",), lambda r: r.get("histograms"),
+         _histograms_diff),
+    )
+
+
+_SECTIONS = {
+    "repro-fleet-v1": _fleet_sections,
+    "repro-telemetry-v1": _telemetry_sections,
+}
+
+
+def _drifted_keys(sections):
+    """Flat, sorted list of ``section:key`` drift names — what the CLI
+    prints and the exit code is stated over."""
+    keys = []
+    for section, drift in sections.items():
+        for bucket in ("changed", "added", "removed", "transitions",
+                       "drifted", "gained_bins", "lost_bins",
+                       "count_changes"):
+            entries = drift.get(bucket)
+            if isinstance(entries, dict):
+                keys.extend(f"{section}:{k}" for k in entries)
+            elif isinstance(entries, list):
+                keys.extend(f"{section}:{k}" for k in entries)
+    return sorted(set(keys))
+
+
+def diff_reports(a, b, label_a="a", label_b="b"):
+    """Diff two loaded report dicts of the same schema.
+
+    Returns a ``repro-insight-v1`` dict; raises :class:`InsightError`
+    when the inputs are not comparable (different or unknown schemas).
+    """
+    schema_a = validate_report(a, path=label_a)
+    schema_b = validate_report(b, path=label_b)
+    if schema_a != schema_b:
+        raise InsightError(
+            f"cannot diff {schema_a} ({label_a}) against "
+            f"{schema_b} ({label_b})")
+
+    result = {
+        "schema": SCHEMA,
+        "kind": "diff",
+        "input_schema": schema_a,
+        "labels": {"a": label_a, "b": label_b},
+        "identical": False,
+        "sections": {},
+        "drifted_keys": [],
+        "n_drifts": 0,
+    }
+    if _canon(a) == _canon(b):
+        result["identical"] = True
+        return result
+
+    sections = {}
+    claimed = set()
+    for name, top_keys, extract, differ in \
+            _SECTIONS.get(schema_a, lambda: ())():
+        claimed.update(top_keys)
+        drift = differ(extract(a), extract(b))
+        if drift is not None:
+            sections[name] = drift
+    flat = _flat_diff(a, b, skip=claimed)
+    if flat is not None:
+        sections["scalars"] = flat
+    result["sections"] = sections
+    result["drifted_keys"] = _drifted_keys(sections)
+    result["n_drifts"] = len(result["drifted_keys"])
+    return result
+
+
+# -- rendering ----------------------------------------------------------------
+
+
+def render_markdown(insight):
+    """Markdown summary of a diff result (also the CLI's stdout)."""
+    labels = insight.get("labels", {})
+    lines = [f"# insight diff — {insight.get('input_schema')}",
+             f"- a: `{labels.get('a')}`",
+             f"- b: `{labels.get('b')}`"]
+    if insight.get("identical"):
+        lines.append("")
+        lines.append("**bit-exact**: reports are identical.")
+        return "\n".join(lines) + "\n"
+    lines.append(f"- drifts: **{insight.get('n_drifts')}**")
+    for section in sorted(insight.get("sections", {})):
+        drift = insight["sections"][section]
+        lines.append("")
+        lines.append(f"## {section}")
+        for bucket in sorted(drift):
+            entries = drift[bucket]
+            if isinstance(entries, dict):
+                for key in sorted(entries):
+                    lines.append(
+                        f"- {bucket} `{key}`: "
+                        f"{_fmt_entry(entries[key])}")
+            elif isinstance(entries, list):
+                for key in entries:
+                    lines.append(f"- {bucket} `{key}`")
+            else:
+                lines.append(f"- {bucket}: {entries}")
+    return "\n".join(lines) + "\n"
+
+
+def _fmt_entry(entry):
+    if isinstance(entry, dict) and "a" in entry and "b" in entry:
+        extra = ""
+        if "delta" in entry:
+            extra = f" (delta {entry['delta']:+g})"
+        return f"{_fmt_val(entry['a'])} -> {_fmt_val(entry['b'])}{extra}"
+    return _fmt_val(entry)
+
+
+def _fmt_val(value):
+    if isinstance(value, float):
+        return f"{value:g}"
+    if isinstance(value, dict):
+        return json.dumps(value, sort_keys=True)
+    return repr(value) if isinstance(value, str) else str(value)
+
+
+def render_html(text, title="insight report", status=""):
+    """Wrap a markdown/text summary in a self-contained HTML page
+    (the CI artifact).  ``text`` is any already-rendered summary."""
+    import html as _html
+
+    body = _html.escape(text)
+    return f"""<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>{_html.escape(title)}</title>
+<style>
+ body {{ font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto;
+        max-width: 60rem; color: #1a1a1a; }}
+ pre {{ background: #f6f8fa; padding: 1rem; overflow-x: auto;
+       border-radius: 6px; }}
+ .status {{ font-weight: 600; }}
+</style></head>
+<body>
+<h1>{_html.escape(title)}</h1>
+<p class="status">{_html.escape(status)}</p>
+<pre>{body}</pre>
+</body></html>
+"""

@@ -1,0 +1,106 @@
+"""A stdlib HTTP thread serving live OpenMetrics text.
+
+:class:`MetricsServer` wraps ``http.server.ThreadingHTTPServer`` in a
+daemon thread and answers ``GET /metrics`` (and ``/``) with whatever
+the ``render`` callable returns at scrape time — typically
+:func:`repro.telemetry.promexport.render_collector` bound to the live
+fleet :class:`~repro.fleet.live.LiveCollector`, which is how
+``run_campaign(metrics_port=...)`` and ``python -m repro.fleet
+--metrics-port`` arm it.
+
+Design constraints, in order:
+
+- **Report bytes are sacred.**  The server reads the side-channel
+  collector only; arming it cannot perturb the deterministic
+  ``repro-fleet-v1`` report (asserted in ``tests/test_insight.py``).
+- **Never take the campaign down.**  Render errors answer 500 with
+  the exception line; socket errors die inside the daemon thread.
+- **Ephemeral-port friendly.**  ``port=0`` binds an OS-assigned port
+  (the bound one is in :attr:`MetricsServer.port` after
+  :meth:`start`), so tests and parallel campaigns never collide.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from ..telemetry.promexport import CONTENT_TYPE
+
+__all__ = ["MetricsServer"]
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # The server object carries the render callable (set in start()).
+    def do_GET(self):                                  # noqa: N802
+        if self.path.split("?", 1)[0] not in ("/", "/metrics"):
+            self.send_error(404, "try /metrics")
+            return
+        try:
+            text = self.server.render_metrics()
+        except Exception as exc:   # render must never kill the server
+            self.send_error(500, f"metrics render failed: {exc}")
+            return
+        body = text.encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", CONTENT_TYPE)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, *args):
+        pass                       # scrapes must not spam the ticker
+
+
+class MetricsServer:
+    """Serve ``render()`` output on ``/metrics`` from a daemon thread.
+
+    Usable as a context manager::
+
+        with MetricsServer(lambda: render_collector(coll), port=0) as s:
+            scrape(f"http://127.0.0.1:{s.port}/metrics")
+    """
+
+    def __init__(self, render, port=0, host="127.0.0.1"):
+        self.render = render
+        self.host = host
+        self.port = int(port)
+        self._httpd = None
+        self._thread = None
+
+    def start(self):
+        if self._httpd is not None:
+            return self
+        httpd = ThreadingHTTPServer((self.host, self.port), _Handler)
+        httpd.daemon_threads = True
+        httpd.render_metrics = self.render
+        self._httpd = httpd
+        self.port = httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=httpd.serve_forever, name="repro-metricsd",
+            daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self):
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)
+        self._httpd = None
+        self._thread = None
+
+    @property
+    def url(self):
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def __enter__(self):
+        return self.start()
+
+    def __exit__(self, *exc):
+        self.stop()
+
+    def __repr__(self):
+        state = "serving" if self._httpd is not None else "stopped"
+        return f"<MetricsServer {self.url} {state}>"

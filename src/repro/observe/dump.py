@@ -114,13 +114,21 @@ def main(argv=None):
     parser.add_argument("--width", type=int, default=72,
                         help="target line width (default 72)")
     args = parser.parse_args(argv)
+    # One-line diagnostics, never a traceback: OSError/ValueError
+    # cover missing files, truncated JSON, and wrong schema ids;
+    # KeyError/TypeError/AttributeError cover structurally mangled
+    # manifests (right schema stamp, missing or mistyped sections).
     try:
         manifest = load_bundle(args.bundle)
+        text = render(manifest, last_n=args.last_n, width=args.width)
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    sys.stdout.write(render(manifest, last_n=args.last_n,
-                            width=args.width))
+    except (KeyError, TypeError, AttributeError) as exc:
+        print(f"error: {args.bundle}: malformed bundle "
+              f"({type(exc).__name__}: {exc})", file=sys.stderr)
+        return 2
+    sys.stdout.write(text)
     return 0
 
 

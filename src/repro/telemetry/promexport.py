@@ -1,0 +1,228 @@
+"""OpenMetrics / Prometheus text exposition for telemetry and fleets.
+
+Two producers, one wire format:
+
+- :func:`telemetry_families` — the per-simulator
+  :class:`~repro.telemetry.export.Telemetry` facade: every declared
+  counter as a ``repro_sim_counter`` sample labeled with its
+  hierarchical name, histograms as ``_count``/``_sum`` pairs;
+- :func:`collector_families` — the fleet
+  :class:`~repro.fleet.live.LiveCollector`: campaign progress (tasks
+  done/failed/retried/poisoned), throughput (cycles, cycles/sec),
+  per-worker liveness/RSS/CPU, and the summed memory footprint.
+  RSS is exposed in **bytes** (``worker_snapshot`` normalizes the
+  platform-dependent ``ru_maxrss`` unit), the same number the
+  ``--live`` ticker and the Perfetto counter track show.
+
+:func:`render` serializes a family list as OpenMetrics 1.0 text
+(``# TYPE``/``# HELP`` headers, ``_total`` suffix on counters,
+escaped label values, terminating ``# EOF``).  The output is
+**deterministic** for deterministic inputs — families and samples are
+emitted in sorted order — which is what lets a golden file pin the
+exposition format (``tests/golden/metrics.prom``).
+
+Scrape-ability comes from :class:`repro.insight.metricsd.MetricsServer`
+which serves :func:`render` output over stdlib HTTP; none of this
+touches the deterministic ``repro-fleet-v1`` report.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CONTENT_TYPE",
+    "collector_families",
+    "render",
+    "render_collector",
+    "render_telemetry",
+    "telemetry_families",
+]
+
+#: the content type OpenMetrics scrapers negotiate.
+CONTENT_TYPE = ("application/openmetrics-text; version=1.0.0; "
+                "charset=utf-8")
+
+
+def _escape_label(value):
+    return (str(value).replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def _sanitize(name):
+    out = []
+    for i, ch in enumerate(name):
+        if ch.isalnum() and (i or not ch.isdigit()) or ch in "_:":
+            out.append(ch)
+        else:
+            out.append("_")
+    return "".join(out)
+
+
+def _fmt_value(value):
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if value != value:                       # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    return f"{value:.10g}"
+
+
+def _fmt_labels(labels):
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{_escape_label(v)}"'
+                     for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def render(families):
+    """Serialize families as OpenMetrics text.
+
+    ``families`` is an iterable of dicts::
+
+        {"name": "repro_fleet_tasks_done", "type": "counter",
+         "help": "...", "samples": [({"pid": 123}, 4), ...]}
+
+    Counter sample lines get the mandatory ``_total`` suffix; sample
+    order within a family follows the sorted label sets, family order
+    follows sorted names.
+    """
+    lines = []
+    for family in sorted(families, key=lambda f: f["name"]):
+        name = _sanitize(family["name"])
+        ftype = family.get("type", "gauge")
+        lines.append(f"# TYPE {name} {ftype}")
+        if family.get("help"):
+            lines.append(f"# HELP {name} "
+                         + _escape_label(family["help"]))
+        suffix = "_total" if ftype == "counter" else ""
+        samples = sorted(
+            family.get("samples", ()),
+            key=lambda s: sorted((s[0] or {}).items()))
+        for labels, value in samples:
+            lines.append(f"{name}{suffix}{_fmt_labels(labels)} "
+                         f"{_fmt_value(value)}")
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+# -- fleet LiveCollector ------------------------------------------------------
+
+
+def collector_families(collector, elapsed=None):
+    """Metric families for a :class:`~repro.fleet.live.LiveCollector`.
+
+    ``elapsed`` overrides the collector's wall clock (the golden test
+    pins the format with a fixed value; live serving uses the default).
+    """
+    if elapsed is None:
+        elapsed = collector.elapsed
+    cycles = collector.cycles
+    families = [
+        {"name": "repro_fleet_tasks_done", "type": "counter",
+         "help": "tasks completed (any status)",
+         "samples": [({}, collector.tasks_done)]},
+        {"name": "repro_fleet_tasks_failed", "type": "counter",
+         "help": "tasks that finished with a non-ok status",
+         "samples": [({}, collector.tasks_failed)]},
+        {"name": "repro_fleet_tasks_retried", "type": "counter",
+         "help": "retry decisions (crash/deadline/transient timeout)",
+         "samples": [({}, collector.retries)]},
+        {"name": "repro_fleet_tasks_poisoned", "type": "counter",
+         "help": "tasks quarantined after exhausting attempts",
+         "samples": [({}, len(collector.quarantined))]},
+        {"name": "repro_fleet_workers_respawned", "type": "counter",
+         "help": "replacement workers spawned after a death",
+         "samples": [({}, collector.respawns)]},
+        {"name": "repro_fleet_workers_live", "type": "gauge",
+         "help": "workers that have reported a metrics snapshot",
+         "samples": [({}, len(collector.metrics_by_pid))]},
+        {"name": "repro_fleet_cycles", "type": "counter",
+         "help": "cumulative simulated cycles across workers",
+         "samples": [({}, cycles)]},
+        {"name": "repro_fleet_cycles_per_second", "type": "gauge",
+         "help": "simulated cycles per wall second",
+         "samples": [({}, cycles / elapsed if elapsed > 0 else 0.0)]},
+        {"name": "repro_fleet_rss_bytes", "type": "gauge",
+         "help": "peak RSS summed across workers (bytes)",
+         "samples": [({}, collector.rss_bytes)]},
+        {"name": "repro_fleet_elapsed_seconds", "type": "gauge",
+         "help": "campaign wall clock",
+         "samples": [({}, elapsed)]},
+    ]
+    if collector.ntasks is not None:
+        families.append(
+            {"name": "repro_fleet_tasks", "type": "gauge",
+             "help": "total tasks in the campaign",
+             "samples": [({}, collector.ntasks)]})
+    per_worker = list(collector.metrics_by_pid.items())
+    if per_worker:
+        families.extend([
+            {"name": "repro_fleet_worker_tasks_done", "type": "counter",
+             "help": "tasks completed per worker",
+             "samples": [({"pid": pid}, snap.get("tasks_done", 0))
+                         for pid, snap in per_worker]},
+            {"name": "repro_fleet_worker_rss_bytes", "type": "gauge",
+             "help": "per-worker peak RSS (bytes)",
+             "samples": [({"pid": pid}, snap.get("rss_bytes", 0))
+                         for pid, snap in per_worker]},
+            {"name": "repro_fleet_worker_cpu_seconds", "type": "counter",
+             "help": "per-worker user+system CPU time",
+             "samples": [({"pid": pid}, snap.get("cpu_seconds", 0.0))
+                         for pid, snap in per_worker]},
+        ])
+    counters = collector.counter_totals()
+    if counters:
+        families.append(
+            {"name": "repro_fleet_counter", "type": "counter",
+             "help": "telemetry counter totals across workers",
+             "samples": [({"name": name}, value)
+                         for name, value in counters.items()]})
+    return families
+
+
+def render_collector(collector, elapsed=None):
+    return render(collector_families(collector, elapsed=elapsed))
+
+
+# -- per-simulator Telemetry facade -------------------------------------------
+
+
+def telemetry_families(telemetry):
+    """Metric families for a :class:`~repro.telemetry.export.Telemetry`
+    facade bound to a (possibly still running) simulator."""
+    sim = telemetry.sim
+    families = [
+        {"name": "repro_sim_cycles", "type": "counter",
+         "help": "simulated cycles",
+         "samples": [({}, sim.ncycles)]},
+        {"name": "repro_sim_events", "type": "counter",
+         "help": "simulator events processed",
+         "samples": [({}, sim.num_events)]},
+    ]
+    counters = telemetry.counters()
+    if counters:
+        families.append(
+            {"name": "repro_sim_counter", "type": "counter",
+             "help": "declared design counters (hierarchical name)",
+             "samples": [({"name": name}, value)
+                         for name, value in counters.items()]})
+    histograms = telemetry.histograms()
+    if histograms:
+        families.append(
+            {"name": "repro_sim_histogram_count", "type": "counter",
+             "help": "observations per declared histogram",
+             "samples": [({"name": name}, hist.count)
+                         for name, hist in histograms.items()]})
+        families.append(
+            {"name": "repro_sim_histogram_sum", "type": "counter",
+             "help": "summed observed values per declared histogram",
+             "samples": [({"name": name}, hist.total)
+                         for name, hist in histograms.items()]})
+    return families
+
+
+def render_telemetry(telemetry):
+    return render(telemetry_families(telemetry))

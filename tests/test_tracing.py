@@ -471,7 +471,7 @@ def test_collector_metrics_and_counters():
     assert collector.cycles > 0
     for snap in collector.metrics_by_pid.values():
         assert snap["tasks_done"] >= 1
-        assert snap["rss_kb"] > 0
+        assert snap["rss_bytes"] > 0
     # Telemetry counters crossed the side-channel too.
     assert collector.counter_totals()
 
